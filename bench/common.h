@@ -1,0 +1,124 @@
+// Shared plumbing for the table/figure reproduction benches.
+//
+// Every bench resolves its datasets, trains (or loads a cached) CAT model and
+// prints a Table with the paper's numbers alongside ours. Trained models are
+// cached under artifacts/models/ keyed by their full configuration, so
+// re-running a bench (or the whole suite) reuses earlier training runs;
+// delete the directory or set TTFS_REFRESH=1 to retrain.
+#pragma once
+
+#include <cstdlib>
+#include <filesystem>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "cat/conversion.h"
+#include "cat/trainer.h"
+#include "data/cifar.h"
+#include "data/synthetic.h"
+#include "nn/metrics.h"
+#include "nn/serialize.h"
+#include "nn/vgg.h"
+#include "util/env.h"
+#include "util/logging.h"
+#include "util/table.h"
+
+namespace ttfs::bench {
+
+struct DatasetCase {
+  std::string paper_name;  // what the paper's table row says
+  data::SyntheticSpec spec;
+};
+
+// The three stand-in datasets, in the paper's order.
+inline std::vector<DatasetCase> dataset_cases() {
+  return {
+      {"CIFAR-10*", data::syn_cifar10_spec()},
+      {"CIFAR-100*", data::syn_cifar100_spec()},
+      {"Tiny-ImageNet*", data::syn_tiny_spec()},
+  };
+}
+
+inline std::int64_t train_count() { return scaled(900, 4000); }
+inline std::int64_t test_count() { return scaled(300, 1000); }
+inline int default_epochs() { return scaled(14, 60); }
+
+struct TrainedModel {
+  nn::Model model;
+  data::LabeledData train;
+  data::LabeledData test;
+  double ann_acc = 0.0;  // under the end-of-schedule activation config
+};
+
+inline std::string artifacts_dir() {
+  if (const char* env = std::getenv("TTFS_ARTIFACTS")) return env;
+  return "artifacts";
+}
+
+inline std::string model_cache_key(const DatasetCase& ds, const cat::TrainConfig& cfg) {
+  std::ostringstream os;
+  os << ds.spec.name << "_m" << to_string(cfg.schedule.mode) << "_T" << cfg.window << "_tau"
+     << cfg.tau << "_e" << cfg.epochs << "_r" << cfg.schedule.relu_epochs << "_w"
+     << cfg.schedule.ttfs_epoch << "_n" << train_count() << "_s" << cfg.seed;
+  std::string key = os.str();
+  for (char& c : key) {
+    if (c == '+' || c == '.') c = '-';
+  }
+  return key;
+}
+
+// Trains (or loads from cache) a CAT model for this dataset/config.
+inline TrainedModel get_trained(const DatasetCase& ds, cat::TrainConfig cfg) {
+  TrainedModel out;
+  out.train = data::generate_synthetic(ds.spec, train_count(), 0);
+  out.test = data::generate_synthetic(ds.spec, test_count(), 1);
+
+  Rng rng{cfg.seed};
+  const nn::VggSpec arch = run_scale() == Scale::kFull ? nn::vgg_mini_spec(ds.spec.classes)
+                                                       : nn::vgg_small_spec(ds.spec.classes);
+  out.model = nn::build_vgg(arch, ds.spec.channels, ds.spec.image, rng);
+
+  const std::string path =
+      artifacts_dir() + "/models/" + model_cache_key(ds, cfg) + ".bin";
+  const bool refresh = std::getenv("TTFS_REFRESH") != nullptr;
+  if (!refresh && nn::is_checkpoint(path)) {
+    TTFS_LOG_INFO("loading cached model " << path);
+    nn::load_model(out.model, path);
+    cat::apply_schedule(out.model, cfg.schedule, cfg.kernel(), cfg.epochs - 1);
+  } else {
+    TTFS_LOG_INFO("training " << model_cache_key(ds, cfg));
+    cfg.verbose = false;
+    (void)cat::train_cat(out.model, out.train, out.test, cfg);
+    nn::save_model(out.model, path);
+  }
+  out.ann_acc =
+      nn::evaluate_accuracy(out.model, data::make_batches(out.test, 64, nullptr));
+  return out;
+}
+
+// Accuracy of an SnnNetwork on a labelled set, through the shared harness.
+inline double snn_accuracy(const snn::SnnNetwork& net, const data::LabeledData& test) {
+  return nn::evaluate_accuracy_fn(
+      [&net](const Tensor& images) { return net.forward(images); },
+      data::make_batches(test, 64, nullptr));
+}
+
+// Prints the table and also saves it under artifacts/csv/<title>.csv.
+inline void emit(const Table& table) {
+  table.print(std::cout);
+  std::string file = table.title();
+  for (char& c : file) {
+    if (!(std::isalnum(static_cast<unsigned char>(c)) != 0)) c = '_';
+  }
+  table.save_csv(artifacts_dir() + "/csv/" + file + ".csv");
+}
+
+inline void print_scale_banner(const std::string& bench) {
+  std::cout << "\n### " << bench << " — scale: "
+            << (run_scale() == Scale::kFull ? "full (TTFS_SCALE=full)" : "quick (default)")
+            << "; datasets marked * are synthetic stand-ins (DESIGN.md)\n\n";
+}
+
+}  // namespace ttfs::bench

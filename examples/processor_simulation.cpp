@@ -1,0 +1,58 @@
+// Hardware-model explorer: run the SNN processor and TPU baselines on any
+// VGG-16 workload and dump the per-layer cycle/energy schedule.
+//
+//   ./processor_simulation [--image 32] [--classes 10] [--pes 128]
+//       [--pe log|linear] [--no-reuse] [--activity 0.4]
+#include <iostream>
+
+#include "hw/processor.h"
+#include "hw/tpu.h"
+#include "hw/workload.h"
+#include "util/cli.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace ttfs;
+  const CliArgs args{argc, argv};
+
+  const std::int64_t image = args.get_int("image", 32);
+  const int classes = args.get_int("classes", 10);
+  hw::NetworkWorkload workload = hw::vgg16_workload("vgg16", image, classes);
+  if (args.has("activity")) {
+    const double a = args.get_double("activity", 0.4);
+    for (auto& v : workload.activity) v = a;
+    workload.activity[0] = 0.9;  // input pixels
+  }
+
+  hw::ArchConfig arch;
+  arch.num_pes = args.get_int("pes", 128);
+  arch.pe = args.get_string("pe", "log") == "linear" ? hw::PeKind::kLinear : hw::PeKind::kLog;
+  arch.input_buffer_reuse = !args.get_flag("no-reuse");
+
+  const hw::SnnProcessorModel model{arch, hw::default_tech()};
+  const hw::ProcessorReport report = model.run(workload);
+
+  Table layers{"per-layer schedule (" + workload.name + ", " + std::to_string(image) + "x" +
+               std::to_string(image) + ")"};
+  layers.set_header({"layer", "cycles", "SOPs", "in spikes", "out spikes", "energy uJ",
+                     "DRAM Mbit"});
+  for (const auto& l : report.layers) {
+    layers.add_row({l.name, std::to_string(l.cycles), std::to_string(l.sops),
+                    std::to_string(l.in_spikes), std::to_string(l.out_spikes),
+                    Table::num(l.energy.total_uj(), 2), Table::num(l.dram_bits / 1e6, 2)});
+  }
+  layers.print(std::cout);
+
+  Table summary{"chip summary"};
+  summary.set_header({"metric", "SNN processor", "TPU 16x16 baseline"});
+  const hw::TpuReport tpu = run_tpu(workload, hw::TpuConfig{}, hw::default_tech());
+  summary.add_row({"fps", Table::num(report.fps, 1), Table::num(tpu.fps, 1)});
+  summary.add_row({"energy/image uJ", Table::num(report.energy_per_image_uj(), 1),
+                   Table::num(tpu.energy_per_image_uj(), 1)});
+  summary.add_row({"chip power mW", Table::num(report.power_mw, 1), Table::num(tpu.power_mw, 1)});
+  summary.add_row({"area mm2", Table::num(report.area_mm2, 4), Table::num(tpu.area_mm2, 4)});
+  summary.add_row({"sustained throughput", Table::num(report.gsops, 1) + " GSOP/s",
+                   Table::num(tpu.gmacs, 1) + " GMAC/s"});
+  summary.print(std::cout);
+  return 0;
+}

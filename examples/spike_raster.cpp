@@ -1,0 +1,79 @@
+// Spike raster explorer: runs one image through the timestep-accurate event
+// simulator and dumps (a) a per-layer spike raster CSV and (b) the per-layer
+// timing histogram — the kind of trace Fig. 1's timeline illustrates.
+//
+//   ./spike_raster [--T 24] [--tau 4] [--out artifacts/raster]
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+
+#include "cat/conversion.h"
+#include "cat/trainer.h"
+#include "data/synthetic.h"
+#include "nn/vgg.h"
+#include "snn/event_sim.h"
+#include "util/cli.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace ttfs;
+  const CliArgs args{argc, argv};
+  const std::string out_dir = args.get_string("out", "artifacts/raster");
+
+  // Train a tiny CAT model so the spikes are meaningful.
+  data::SyntheticSpec spec = data::syn_cifar10_spec();
+  spec.classes = 5;
+  spec.image = 12;
+  const auto train = data::generate_synthetic(spec, 400, 0);
+  const auto test = data::generate_synthetic(spec, 50, 1);
+
+  cat::TrainConfig cfg = cat::TrainConfig::compressed(10);
+  cfg.window = args.get_int("T", 24);
+  cfg.tau = args.get_double("tau", 4.0);
+  cfg.verbose = false;
+  Rng rng{cfg.seed};
+  nn::Model model = nn::build_vgg(nn::vgg_micro_spec(spec.classes), 3, spec.image, rng);
+  (void)cat::train_cat(model, train, test, cfg);
+  snn::SnnNetwork net = cat::convert_to_snn(model, cfg.kernel(), train);
+
+  // One test image through the event simulator.
+  const std::int64_t pix = test.images.numel() / test.size();
+  Tensor img{{3, spec.image, spec.image},
+             std::vector<float>(test.images.data(), test.images.data() + pix)};
+  const snn::EventTrace trace = snn::run_event_sim(net, img);
+
+  std::filesystem::create_directories(out_dir);
+  std::ofstream raster{out_dir + "/raster.csv"};
+  raster << "layer,neuron,global_timestep\n";
+  // Layer l fires during window l (Fig. 1): global time = l*T + step.
+  for (std::size_t l = 0; l < trace.layers.size(); ++l) {
+    for (const snn::Spike& s : trace.layers[l].spikes) {
+      raster << l << ',' << s.neuron << ',' << l * static_cast<std::size_t>(cfg.window) + s.step
+             << '\n';
+    }
+  }
+
+  Table hist{"per-layer spike timing (window-relative)"};
+  hist.set_header({"layer", "neurons", "spikes", "firing %", "median step", "encoder cycles"});
+  for (std::size_t l = 0; l < trace.layers.size(); ++l) {
+    const auto& lt = trace.layers[l];
+    std::vector<int> steps;
+    for (const snn::Spike& s : lt.spikes) steps.push_back(s.step);
+    std::sort(steps.begin(), steps.end());
+    const int median = steps.empty() ? -1 : steps[steps.size() / 2];
+    hist.add_row({std::to_string(l), std::to_string(lt.neuron_count),
+                  std::to_string(lt.spikes.size()),
+                  Table::num(100.0 * static_cast<double>(lt.spikes.size()) /
+                                 static_cast<double>(std::max<std::int64_t>(1, lt.neuron_count)),
+                             1),
+                  std::to_string(median), std::to_string(lt.encoder_cycles)});
+  }
+  hist.print(std::cout);
+  std::cout << "raster written to " << out_dir << "/raster.csv ("
+            << trace.total_spikes() << " spikes, "
+            << trace.total_integration_ops() << " synaptic ops)\n";
+  std::cout << "predicted class logits:";
+  for (std::int64_t i = 0; i < trace.logits.numel(); ++i) std::cout << ' ' << trace.logits[i];
+  std::cout << '\n';
+  return 0;
+}

@@ -1,0 +1,4 @@
+#include "cat/activations.h"
+
+// Header-only implementations; this TU anchors the vtables.
+namespace ttfs::cat {}

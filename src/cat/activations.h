@@ -1,0 +1,66 @@
+// The CAT activation functions (paper Eq. 10-13).
+//
+// phi_Clip — the relaxed stage-2 activation: clip(x, theta0, 0). Bounded like
+// the SNN's representable range but continuous, so training stays stable at
+// high learning rates.
+//
+// phi_TTFS — the stage-3 activation that simulates the TTFS fire/decode round
+// trip exactly: phi_TTFS(x) is the value a downstream SNN layer reconstructs
+// for a membrane x, computed with the *same* Base2Kernel::fire_step used by
+// the SNN simulator and hardware encoder. Training through it makes the ANN
+// learn the SNN's data representation, which is the whole CAT idea.
+//
+// Both use a straight-through gradient of 1 inside the representable range
+// and 0 outside (Eq. 11's second branch is treated as a typo; see DESIGN.md).
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "nn/activation.h"
+#include "snn/kernel.h"
+
+namespace ttfs::cat {
+
+class ClipFn final : public nn::ScalarFn {
+ public:
+  explicit ClipFn(float theta0 = 1.0F) : theta0_{theta0} { TTFS_CHECK(theta0 > 0.0F); }
+
+  float forward(float x) const override {
+    if (x >= theta0_) return theta0_;
+    if (x <= 0.0F) return 0.0F;
+    return x;
+  }
+  float grad(float x) const override { return (x > 0.0F && x < theta0_) ? 1.0F : 0.0F; }
+  std::string name() const override { return "clip"; }
+  float theta0() const { return theta0_; }
+
+ private:
+  float theta0_;
+};
+
+class TtfsFn final : public nn::ScalarFn {
+ public:
+  explicit TtfsFn(snn::Base2Kernel kernel) : kernel_{kernel} {}
+
+  float forward(float x) const override {
+    return static_cast<float>(kernel_.quantize(static_cast<double>(x)));
+  }
+  // STE: pass-through on the representable range [kappa(T-1), theta0).
+  // (A pass-through-above-saturation variant — one reading of Eq. 11's
+  // nonzero "otherwise" branch — was tried and diverges badly: the
+  // forward/backward mismatch compounds through depth. Clipped STE it is.)
+  float grad(float x) const override {
+    return (static_cast<double>(x) >= kernel_.min_level() &&
+            static_cast<double>(x) < kernel_.theta0())
+               ? 1.0F
+               : 0.0F;
+  }
+  std::string name() const override { return "ttfs"; }
+  const snn::Base2Kernel& kernel() const { return kernel_; }
+
+ private:
+  snn::Base2Kernel kernel_;
+};
+
+}  // namespace ttfs::cat

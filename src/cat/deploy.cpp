@@ -1,0 +1,242 @@
+#include "cat/deploy.h"
+
+#include <cmath>
+#include <filesystem>
+#include <fstream>
+#include <variant>
+#include <vector>
+
+#include "util/check.h"
+
+namespace ttfs::cat {
+namespace {
+
+constexpr std::uint32_t kMagic = 0x54544644;  // "TTFD"
+constexpr std::uint32_t kVersion = 1;
+
+enum class LayerTag : std::uint8_t { kConv = 1, kFc = 2, kPool = 3 };
+
+template <typename T>
+void write_pod(std::ofstream& os, const T& v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+
+template <typename T>
+T read_pod(std::ifstream& is) {
+  T v{};
+  is.read(reinterpret_cast<char*>(&v), sizeof(T));
+  TTFS_CHECK_MSG(is.good(), "truncated deploy image");
+  return v;
+}
+
+// Bit-packing cursor: codes are (bits)-wide fields, little-endian within the
+// byte stream, matching a DMA burst layout.
+class BitWriter {
+ public:
+  void push(std::uint32_t code, int bits) {
+    for (int b = 0; b < bits; ++b) {
+      if (bit_ == 0) bytes_.push_back(0);
+      if ((code >> b & 1U) != 0U) bytes_.back() |= static_cast<unsigned char>(1U << bit_);
+      bit_ = (bit_ + 1) % 8;
+    }
+  }
+  const std::vector<unsigned char>& bytes() const { return bytes_; }
+
+ private:
+  std::vector<unsigned char> bytes_;
+  int bit_ = 0;
+};
+
+class BitReader {
+ public:
+  explicit BitReader(std::vector<unsigned char> bytes) : bytes_{std::move(bytes)} {}
+  std::uint32_t pull(int bits) {
+    std::uint32_t code = 0;
+    for (int b = 0; b < bits; ++b) {
+      TTFS_CHECK_MSG(pos_ < bytes_.size(), "deploy payload overrun");
+      if ((bytes_[pos_] >> bit_ & 1) != 0) code |= 1U << b;
+      bit_ = (bit_ + 1) % 8;
+      if (bit_ == 0) ++pos_;
+    }
+    return code;
+  }
+
+ private:
+  std::vector<unsigned char> bytes_;
+  std::size_t pos_ = 0;
+  int bit_ = 0;
+};
+
+// Encodes a quantized weight value into (bits)-wide code: bit (bits-1) is the
+// sign, low bits are the magnitude index (0 = q_max) with the all-ones index
+// reserved for zero.
+std::uint32_t encode_weight(double wq, int q_max, const LogQuantConfig& config,
+                            std::uint64_t& zero_coded) {
+  const auto zero_index = static_cast<std::uint32_t>((1 << (config.bits - 1)) - 1);
+  if (wq == 0.0) {
+    ++zero_coded;
+    return zero_index;
+  }
+  const double mag = std::fabs(wq);
+  const int q = static_cast<int>(std::lround(std::log2(mag) / config.step()));
+  const int index = q_max - q;
+  TTFS_CHECK_MSG(index >= 0 && index < static_cast<int>(zero_index),
+                 "weight code out of range: q=" << q << " q_max=" << q_max);
+  std::uint32_t code = static_cast<std::uint32_t>(index);
+  if (wq < 0.0) code |= 1U << (config.bits - 1);
+  return code;
+}
+
+double decode_weight(std::uint32_t code, int q_max, const LogQuantConfig& config) {
+  const auto zero_index = static_cast<std::uint32_t>((1 << (config.bits - 1)) - 1);
+  const std::uint32_t index = code & zero_index;
+  if (index == zero_index) return 0.0;
+  const bool negative = (code >> (config.bits - 1) & 1U) != 0U;
+  const double mag = std::exp2(static_cast<double>(q_max - static_cast<int>(index)) *
+                               config.step());
+  return negative ? -mag : mag;
+}
+
+void write_packed_tensor(std::ofstream& os, const Tensor& quantized,
+                         const LayerQuantInfo& info, const LogQuantConfig& config,
+                         DeployStats& stats) {
+  BitWriter packer;
+  for (std::int64_t i = 0; i < quantized.numel(); ++i) {
+    packer.push(encode_weight(quantized[i], info.q_max, config, stats.zero_coded), config.bits);
+  }
+  write_pod(os, static_cast<std::int32_t>(info.q_max));
+  write_pod(os, static_cast<std::uint64_t>(quantized.numel()));
+  write_pod(os, static_cast<std::uint64_t>(packer.bytes().size()));
+  os.write(reinterpret_cast<const char*>(packer.bytes().data()),
+           static_cast<std::streamsize>(packer.bytes().size()));
+  stats.weight_payload_bytes += packer.bytes().size();
+  stats.weights += static_cast<std::uint64_t>(quantized.numel());
+}
+
+Tensor read_packed_tensor(std::ifstream& is, std::vector<std::int64_t> shape,
+                          const LogQuantConfig& config) {
+  const auto q_max = read_pod<std::int32_t>(is);
+  const auto count = read_pod<std::uint64_t>(is);
+  const auto bytes = read_pod<std::uint64_t>(is);
+  std::vector<unsigned char> payload(bytes);
+  is.read(reinterpret_cast<char*>(payload.data()), static_cast<std::streamsize>(bytes));
+  TTFS_CHECK_MSG(is.good(), "truncated weight payload");
+
+  Tensor out{std::move(shape)};
+  TTFS_CHECK(static_cast<std::uint64_t>(out.numel()) == count);
+  BitReader reader{std::move(payload)};
+  for (std::int64_t i = 0; i < out.numel(); ++i) {
+    out[i] = static_cast<float>(decode_weight(reader.pull(config.bits), q_max, config));
+  }
+  return out;
+}
+
+void write_bias(std::ofstream& os, const Tensor& bias) {
+  write_pod(os, static_cast<std::uint64_t>(bias.numel()));
+  os.write(reinterpret_cast<const char*>(bias.data()),
+           static_cast<std::streamsize>(bias.numel() * sizeof(float)));
+}
+
+Tensor read_bias(std::ifstream& is, std::int64_t expected) {
+  const auto count = read_pod<std::uint64_t>(is);
+  TTFS_CHECK(static_cast<std::int64_t>(count) == expected);
+  Tensor bias{{expected}};
+  is.read(reinterpret_cast<char*>(bias.data()),
+          static_cast<std::streamsize>(expected * sizeof(float)));
+  TTFS_CHECK_MSG(is.good(), "truncated bias");
+  return bias;
+}
+
+}  // namespace
+
+DeployStats write_deploy_image(const snn::SnnNetwork& net, const LogQuantConfig& config,
+                               const std::string& path) {
+  TTFS_CHECK(config.bits >= 2 && config.bits <= 16);
+  const std::filesystem::path p{path};
+  if (p.has_parent_path()) std::filesystem::create_directories(p.parent_path());
+  std::ofstream os{p, std::ios::binary};
+  TTFS_CHECK_MSG(os.good(), "cannot open " << path);
+
+  DeployStats stats;
+  write_pod(os, kMagic);
+  write_pod(os, kVersion);
+  write_pod(os, static_cast<std::int32_t>(net.kernel().window()));
+  write_pod(os, net.kernel().tau());
+  write_pod(os, net.kernel().theta0());
+  write_pod(os, static_cast<std::int32_t>(config.bits));
+  write_pod(os, static_cast<std::int32_t>(config.z));
+  write_pod(os, static_cast<std::uint32_t>(net.layers().size()));
+
+  for (const auto& layer : net.layers()) {
+    if (const auto* conv = std::get_if<snn::SnnConv>(&layer)) {
+      write_pod(os, static_cast<std::uint8_t>(LayerTag::kConv));
+      for (int d = 0; d < 4; ++d) write_pod(os, static_cast<std::int64_t>(conv->weight.dim(d)));
+      write_pod(os, static_cast<std::int64_t>(conv->stride));
+      write_pod(os, static_cast<std::int64_t>(conv->pad));
+      Tensor q = Tensor{conv->weight.shape(), conv->weight.vec()};
+      const LayerQuantInfo info = log_quantize_tensor(q, config);
+      write_packed_tensor(os, q, info, config, stats);
+      write_bias(os, conv->bias.empty() ? Tensor{{conv->weight.dim(0)}} : conv->bias);
+    } else if (const auto* fc = std::get_if<snn::SnnFc>(&layer)) {
+      write_pod(os, static_cast<std::uint8_t>(LayerTag::kFc));
+      write_pod(os, static_cast<std::int64_t>(fc->weight.dim(0)));
+      write_pod(os, static_cast<std::int64_t>(fc->weight.dim(1)));
+      Tensor q = Tensor{fc->weight.shape(), fc->weight.vec()};
+      const LayerQuantInfo info = log_quantize_tensor(q, config);
+      write_packed_tensor(os, q, info, config, stats);
+      write_bias(os, fc->bias.empty() ? Tensor{{fc->weight.dim(0)}} : fc->bias);
+    } else {
+      const auto& pool = std::get<snn::SnnPool>(layer);
+      write_pod(os, static_cast<std::uint8_t>(LayerTag::kPool));
+      write_pod(os, static_cast<std::int64_t>(pool.kernel));
+      write_pod(os, static_cast<std::int64_t>(pool.stride));
+    }
+  }
+  TTFS_CHECK_MSG(os.good(), "write failed for " << path);
+  os.flush();
+  stats.file_bytes = static_cast<std::uint64_t>(std::filesystem::file_size(p));
+  return stats;
+}
+
+snn::SnnNetwork read_deploy_image(const std::string& path) {
+  std::ifstream is{path, std::ios::binary};
+  TTFS_CHECK_MSG(is.good(), "cannot open " << path);
+  TTFS_CHECK_MSG(read_pod<std::uint32_t>(is) == kMagic, "bad magic in " << path);
+  TTFS_CHECK_MSG(read_pod<std::uint32_t>(is) == kVersion, "unsupported version in " << path);
+  const auto window = read_pod<std::int32_t>(is);
+  const auto tau = read_pod<double>(is);
+  const auto theta0 = read_pod<double>(is);
+  LogQuantConfig config;
+  config.bits = read_pod<std::int32_t>(is);
+  config.z = read_pod<std::int32_t>(is);
+  const auto layer_count = read_pod<std::uint32_t>(is);
+
+  snn::SnnNetwork net{snn::Base2Kernel{window, tau, theta0}};
+  for (std::uint32_t l = 0; l < layer_count; ++l) {
+    const auto tag = static_cast<LayerTag>(read_pod<std::uint8_t>(is));
+    if (tag == LayerTag::kConv) {
+      std::vector<std::int64_t> shape(4);
+      for (auto& d : shape) d = read_pod<std::int64_t>(is);
+      const auto stride = read_pod<std::int64_t>(is);
+      const auto pad = read_pod<std::int64_t>(is);
+      Tensor w = read_packed_tensor(is, shape, config);
+      Tensor b = read_bias(is, shape[0]);
+      net.add_conv(std::move(w), std::move(b), stride, pad);
+    } else if (tag == LayerTag::kFc) {
+      const auto out = read_pod<std::int64_t>(is);
+      const auto in = read_pod<std::int64_t>(is);
+      Tensor w = read_packed_tensor(is, {out, in}, config);
+      Tensor b = read_bias(is, out);
+      net.add_fc(std::move(w), std::move(b));
+    } else if (tag == LayerTag::kPool) {
+      const auto kernel = read_pod<std::int64_t>(is);
+      const auto stride = read_pod<std::int64_t>(is);
+      net.add_pool(kernel, stride);
+    } else {
+      TTFS_CHECK_MSG(false, "unknown layer tag in " << path);
+    }
+  }
+  return net;
+}
+
+}  // namespace ttfs::cat

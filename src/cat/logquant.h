@@ -1,0 +1,51 @@
+// Logarithmic weight quantization (paper Eq. 15-16, after Vogel et al.).
+//
+// Weights are snapped to sign * 2^(q*s) where s = 2^(-z) is the log2-domain
+// step (z = 0 -> a_w = 2, z = 1 -> a_w = 2^(-1/2), z = 2 -> a_w = 2^(-1/4))
+// and q is an integer code. With bitwidth b, a layer keeps 2^(b-1) - 1
+// magnitude levels anchored at its full-scale range FSR = max|w| (plus a zero
+// code and a sign bit). The constraint log2(a_w) = ±2^(-z) (Eq. 16) is what
+// lets the PE replace multiplication with exponent-add + LUT + shift.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "snn/network.h"
+#include "tensor/tensor.h"
+
+namespace ttfs::cat {
+
+struct LogQuantConfig {
+  int bits = 5;  // total, including sign
+  int z = 1;     // log2-domain step = 2^-z; z=1 is the paper's a_w = 2^(-1/2)
+
+  double step() const { return std::exp2(static_cast<double>(-z)); }
+  // Magnitude levels available below FSR (Eq. 15's clip range).
+  int magnitude_levels() const { return (1 << (bits - 1)) - 1; }
+};
+
+struct LayerQuantInfo {
+  std::int64_t weights = 0;
+  std::int64_t zeroed = 0;   // underflowed to the zero code
+  int q_max = 0;             // top exponent code (units of `step` in log2)
+  double fsr = 0.0;          // max |w| before quantization
+  double mse = 0.0;          // mean squared quantization error
+};
+
+// Quantizes a single tensor in place; returns stats. The top code is
+// anchored at ceil(log_a max|w|) so the code window always covers the
+// largest weights (see the .cpp note on why a rounded anchor systematically
+// shrinks layer scales).
+LayerQuantInfo log_quantize_tensor(Tensor& w, const LogQuantConfig& config);
+
+// Quantizes every weighted layer of an SNN stack in place (biases are kept in
+// full precision — the paper's PEs add the bias once per neuron from a
+// separate register, so it is not on the multiply path).
+std::vector<LayerQuantInfo> log_quantize_network(snn::SnnNetwork& net,
+                                                 const LogQuantConfig& config);
+
+// Reference scalar quantizer (Eq. 15) — exposed for tests.
+double log_quantize_value(double w, double fsr, const LogQuantConfig& config);
+
+}  // namespace ttfs::cat

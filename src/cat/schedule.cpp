@@ -1,0 +1,48 @@
+#include "cat/schedule.h"
+
+#include <memory>
+
+#include "cat/activations.h"
+
+namespace ttfs::cat {
+
+std::string to_string(CatMode mode) {
+  switch (mode) {
+    case CatMode::kClipOnly:
+      return "I";
+    case CatMode::kClipInputTtfs:
+      return "I+II";
+    case CatMode::kFull:
+      return "I+II+III";
+  }
+  return "?";
+}
+
+void apply_schedule(nn::Model& model, const CatSchedule& schedule,
+                    const snn::Base2Kernel& kernel, int epoch) {
+  const auto theta0 = static_cast<float>(schedule.theta0);
+  const auto ttfs = std::make_shared<TtfsFn>(kernel);
+  const auto clip = std::make_shared<ClipFn>(theta0);
+  const auto relu = std::make_shared<nn::ReluFn>();
+  const auto identity = std::make_shared<nn::IdentityFn>();
+
+  const bool input_ttfs = schedule.mode != CatMode::kClipOnly;
+  const bool hidden_ttfs = schedule.mode == CatMode::kFull && epoch >= schedule.ttfs_epoch;
+
+  for (nn::ActivationLayer* site : model.activation_sites()) {
+    if (site->site() == nn::ActSite::kInput) {
+      site->set_fn(input_ttfs ? std::static_pointer_cast<const nn::ScalarFn>(ttfs)
+                              : std::static_pointer_cast<const nn::ScalarFn>(identity));
+    } else {
+      if (epoch < schedule.relu_epochs) {
+        site->set_fn(relu);
+      } else if (hidden_ttfs) {
+        site->set_fn(ttfs);
+      } else {
+        site->set_fn(clip);
+      }
+    }
+  }
+}
+
+}  // namespace ttfs::cat

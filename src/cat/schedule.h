@@ -1,0 +1,41 @@
+// The CAT activation schedule (paper Sec. 3.1, Table 1 modes).
+//
+// Training proceeds through three activation stages on the hidden sites —
+// ReLU (boost initial training), phi_Clip (stable bulk), phi_TTFS (exact SNN
+// simulation) — while the input site is either Identity or phi_TTFS from the
+// first epoch ("to simulate [the] input image being presented using spikes").
+//
+// The Table 1 ablation modes map onto which pieces are enabled:
+//   I          clip on hidden sites only, input untouched
+//   I+II       clip on hidden sites, phi_TTFS on the input site
+//   I+II+III   phi_TTFS everywhere from `ttfs_epoch` on
+#pragma once
+
+#include <string>
+
+#include "nn/model.h"
+#include "snn/kernel.h"
+
+namespace ttfs::cat {
+
+enum class CatMode {
+  kClipOnly,       // I
+  kClipInputTtfs,  // I + II
+  kFull,           // I + II + III
+};
+
+std::string to_string(CatMode mode);
+
+struct CatSchedule {
+  CatMode mode = CatMode::kFull;
+  int relu_epochs = 10;  // hidden sites run ReLU for epochs [0, relu_epochs)
+  int ttfs_epoch = 170;  // hidden sites switch to phi_TTFS at this epoch (kFull)
+  double theta0 = 1.0;
+};
+
+// Configures every activation site of `model` for `epoch`. Idempotent; the
+// trainer calls it at each epoch start. `kernel` defines phi_TTFS.
+void apply_schedule(nn::Model& model, const CatSchedule& schedule,
+                    const snn::Base2Kernel& kernel, int epoch);
+
+}  // namespace ttfs::cat

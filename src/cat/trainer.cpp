@@ -1,0 +1,127 @@
+#include "cat/trainer.h"
+
+#include <cmath>
+#include <optional>
+#include <utility>
+
+#include "cat/logquant.h"
+#include "data/augment.h"
+#include "nn/loss.h"
+#include "nn/sgd.h"
+#include "util/logging.h"
+
+namespace ttfs::cat {
+namespace {
+
+// Fake-quantization scope: swaps log-quantized weights in for the duration of
+// one forward/backward, then restores the fp32 master copies so the optimizer
+// updates full-precision weights (straight-through estimator on the weights).
+// Only matrix/filter parameters quantize; biases and BN affines stay fp32,
+// matching the deployed PE datapath (bias is added outside the multiply path).
+class FakeQuantScope {
+ public:
+  FakeQuantScope(std::vector<nn::Param*> params, const LogQuantConfig& config) {
+    for (nn::Param* p : params) {
+      if (p->value.rank() < 2) continue;  // weights only
+      stashed_.emplace_back(p, p->value);
+      (void)log_quantize_tensor(p->value, config);
+    }
+  }
+  ~FakeQuantScope() {
+    for (auto& [p, fp32] : stashed_) p->value = std::move(fp32);
+  }
+  FakeQuantScope(const FakeQuantScope&) = delete;
+  FakeQuantScope& operator=(const FakeQuantScope&) = delete;
+
+ private:
+  std::vector<std::pair<nn::Param*, Tensor>> stashed_;
+};
+
+}  // namespace
+
+TrainConfig TrainConfig::paper_full() {
+  TrainConfig c;
+  c.epochs = 200;
+  c.base_lr = 0.1F;
+  c.lr_milestones = {80, 120, 160};
+  c.schedule.relu_epochs = 10;
+  c.schedule.ttfs_epoch = 170;
+  return c;
+}
+
+TrainConfig TrainConfig::compressed(int epochs) {
+  TTFS_CHECK(epochs >= 5);
+  TrainConfig c;
+  c.epochs = epochs;
+  c.base_lr = 0.05F;  // smaller net + smaller batches than the paper's GPU run
+  // Preserve the paper's proportions: milestones at 40/60/80% of training,
+  // ReLU for the first 5%, phi_TTFS from 85%.
+  c.lr_milestones = {(epochs * 2) / 5, (epochs * 3) / 5, (epochs * 4) / 5};
+  c.schedule.relu_epochs = std::max(1, epochs / 20);
+  c.schedule.ttfs_epoch = (epochs * 17) / 20;
+  return c;
+}
+
+TrainHistory train_cat(nn::Model& model, const data::LabeledData& train,
+                       const data::LabeledData& test, const TrainConfig& config) {
+  TTFS_CHECK(train.size() > 0 && test.size() > 0);
+  const snn::Base2Kernel kernel = config.kernel();
+  nn::Sgd sgd{{config.base_lr, config.momentum, config.weight_decay}};
+  const nn::MultiStepLr lr_schedule{config.base_lr, config.lr_milestones};
+  Rng rng{config.seed};
+
+  const std::vector<nn::Batch> test_batches = data::make_batches(test, config.batch_size, nullptr);
+
+  TrainHistory history;
+  for (int epoch = 0; epoch < config.epochs; ++epoch) {
+    apply_schedule(model, config.schedule, kernel, epoch);
+    sgd.set_lr(lr_schedule.lr_at(epoch));
+
+    double loss_sum = 0.0;
+    std::int64_t correct = 0, seen = 0, steps = 0;
+    const bool qat_active = config.weight_qat && epoch >= config.schedule.relu_epochs;
+    const LogQuantConfig qat_config{config.qat_bits, config.qat_z};
+    for (nn::Batch& batch : data::make_batches(train, config.batch_size, &rng)) {
+      if (config.augment) data::augment_batch(batch, data::AugmentConfig{}, rng);
+      model.zero_grad();
+      {
+        std::optional<FakeQuantScope> qat;
+        if (qat_active) qat.emplace(model.params(), qat_config);
+        const Tensor logits = model.forward(batch.images, /*train=*/true);
+        const nn::LossResult loss = nn::softmax_cross_entropy(logits, batch.labels);
+        model.backward(loss.grad_logits);
+
+        loss_sum += loss.loss;
+        correct += loss.correct;
+        seen += logits.dim(0);
+        ++steps;
+        if (!std::isfinite(loss.loss)) history.diverged = true;
+      }
+      sgd.step(model.params());
+    }
+
+    EpochStats stats;
+    stats.epoch = epoch;
+    stats.lr = sgd.lr();
+    stats.train_loss = static_cast<float>(loss_sum / static_cast<double>(steps));
+    stats.train_acc = 100.0 * static_cast<double>(correct) / static_cast<double>(seen);
+    stats.hidden_activation = model.activation_sites().back()->fn().name();
+    if (epoch % config.eval_every == 0 || epoch == config.epochs - 1) {
+      stats.test_acc = nn::evaluate_accuracy(model, test_batches);
+    }
+    if (config.verbose) {
+      TTFS_LOG_INFO("epoch " << epoch << " act=" << stats.hidden_activation
+                             << " lr=" << stats.lr << " loss=" << stats.train_loss
+                             << " train=" << stats.train_acc << "% test=" << stats.test_acc
+                             << "%");
+    }
+    history.epochs.push_back(stats);
+  }
+
+  // Final accuracy under the end-of-schedule activation configuration.
+  apply_schedule(model, config.schedule, kernel, config.epochs - 1);
+  history.final_test_acc = nn::evaluate_accuracy(model, test_batches);
+  return history;
+}
+
+}  // namespace ttfs::cat

@@ -1,0 +1,74 @@
+// Conversion-aware training loop (paper Sec. 3.1).
+//
+// Trains an ANN with SGD (momentum 0.9, weight decay 5e-4, multi-step LR)
+// while walking the activation schedule ReLU -> phi_Clip -> phi_TTFS. The
+// paper's 200-epoch recipe (ReLU to epoch 10, LR/10 at 80/120/160, phi_TTFS
+// from 170) is the default at full scale; proportionally compressed presets
+// serve quick CPU runs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cat/schedule.h"
+#include "data/dataset.h"
+#include "nn/model.h"
+#include "snn/kernel.h"
+
+namespace ttfs::cat {
+
+struct TrainConfig {
+  int epochs = 40;
+  std::int64_t batch_size = 32;
+  float base_lr = 0.05F;
+  std::vector<int> lr_milestones{16, 24, 32};  // LR divided by 10 at each
+  float momentum = 0.9F;
+  float weight_decay = 5e-4F;
+  CatSchedule schedule;
+  int window = 24;     // kernel T
+  double tau = 4.0;    // kernel tau
+  double theta0 = 1.0;
+  std::uint64_t seed = 7;
+  bool verbose = true;
+  int eval_every = 1;    // test-set evaluation cadence in epochs
+  bool augment = false;  // random flip + shift per training batch
+
+  // Logarithmic weight QAT (paper Sec. 5: "accuracy ... can be improved if
+  // the quantization aware training is applied instead of post-training
+  // quantization"). When enabled, every forward/backward pass runs with
+  // log-quantized weights (straight-through to the fp32 master copy),
+  // starting once the ReLU warm-up ends.
+  bool weight_qat = false;
+  int qat_bits = 5;
+  int qat_z = 1;
+
+  snn::Base2Kernel kernel() const { return snn::Base2Kernel{window, tau, theta0}; }
+
+  // The paper's full recipe (200 epochs), for TTFS_SCALE=full runs.
+  static TrainConfig paper_full();
+  // Compressed recipe proportional to the paper's, `epochs` long.
+  static TrainConfig compressed(int epochs);
+};
+
+struct EpochStats {
+  int epoch = 0;
+  float lr = 0.0F;
+  float train_loss = 0.0F;
+  double train_acc = 0.0;   // percent
+  double test_acc = -1.0;   // percent; -1 when not evaluated this epoch
+  std::string hidden_activation;
+};
+
+struct TrainHistory {
+  std::vector<EpochStats> epochs;
+  double final_test_acc = 0.0;
+  bool diverged = false;  // loss became non-finite at some point
+};
+
+// Trains `model` in place. The model must come from build_vgg (it needs the
+// input/hidden activation sites the schedule drives).
+TrainHistory train_cat(nn::Model& model, const data::LabeledData& train,
+                       const data::LabeledData& test, const TrainConfig& config);
+
+}  // namespace ttfs::cat

@@ -1,0 +1,44 @@
+#include "data/augment.h"
+
+#include <vector>
+
+#include "util/check.h"
+
+namespace ttfs::data {
+
+void augment_batch(nn::Batch& batch, const AugmentConfig& config, Rng& rng) {
+  TTFS_CHECK(batch.images.rank() == 4);
+  TTFS_CHECK(config.max_shift >= 0);
+  const std::int64_t n = batch.images.dim(0);
+  const std::int64_t ch = batch.images.dim(1);
+  const std::int64_t h = batch.images.dim(2);
+  const std::int64_t w = batch.images.dim(3);
+
+  std::vector<float> scratch(static_cast<std::size_t>(h * w));
+  for (std::int64_t i = 0; i < n; ++i) {
+    const bool flip = config.horizontal_flip && rng.bernoulli(0.5);
+    const std::int64_t dy =
+        config.max_shift == 0 ? 0 : rng.uniform_int(-config.max_shift, config.max_shift);
+    const std::int64_t dx =
+        config.max_shift == 0 ? 0 : rng.uniform_int(-config.max_shift, config.max_shift);
+    if (!flip && dy == 0 && dx == 0) continue;
+
+    for (std::int64_t c = 0; c < ch; ++c) {
+      float* plane = batch.images.data() + (i * ch + c) * h * w;
+      for (std::int64_t y = 0; y < h; ++y) {
+        for (std::int64_t x = 0; x < w; ++x) {
+          const std::int64_t sy = y - dy;
+          std::int64_t sx = x - dx;
+          if (flip) sx = w - 1 - sx;
+          scratch[static_cast<std::size_t>(y * w + x)] =
+              (sy < 0 || sy >= h || sx < 0 || sx >= w)
+                  ? 0.0F
+                  : plane[sy * w + sx];
+        }
+      }
+      std::copy(scratch.begin(), scratch.end(), plane);
+    }
+  }
+}
+
+}  // namespace ttfs::data

@@ -1,0 +1,22 @@
+// Training-time data augmentation.
+//
+// The paper trains VGG-16 on CIFAR with the standard recipe; at full scale we
+// apply the matching augmentations — random horizontal flip and random
+// shift-with-zero-pad crop — per batch, each epoch. Quick-scale runs skip
+// augmentation (the synthetic generators already randomize phase/position).
+#pragma once
+
+#include "nn/metrics.h"
+#include "util/rng.h"
+
+namespace ttfs::data {
+
+struct AugmentConfig {
+  bool horizontal_flip = true;
+  int max_shift = 2;  // pixels, each axis; 0 disables shifting
+};
+
+// Applies augmentation to every image in the batch, in place.
+void augment_batch(nn::Batch& batch, const AugmentConfig& config, Rng& rng);
+
+}  // namespace ttfs::data

@@ -1,0 +1,69 @@
+#include "data/cifar.h"
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <vector>
+
+#include "util/check.h"
+
+namespace ttfs::data {
+namespace {
+
+constexpr std::int64_t kImageBytes = 3 * 32 * 32;
+
+// Appends all records of one CIFAR binary file. label_bytes is 1 for
+// CIFAR-10, 2 for CIFAR-100 (coarse label first, fine second).
+bool append_file(const std::string& path, int label_bytes, std::vector<float>& pixels,
+                 std::vector<std::int32_t>& labels) {
+  std::ifstream is{path, std::ios::binary};
+  if (!is.good()) return false;
+  std::vector<unsigned char> record(static_cast<std::size_t>(label_bytes + kImageBytes));
+  while (is.read(reinterpret_cast<char*>(record.data()),
+                 static_cast<std::streamsize>(record.size()))) {
+    labels.push_back(static_cast<std::int32_t>(record[static_cast<std::size_t>(label_bytes - 1)]));
+    for (std::int64_t i = 0; i < kImageBytes; ++i) {
+      pixels.push_back(static_cast<float>(record[static_cast<std::size_t>(label_bytes + i)]) /
+                       255.0F);
+    }
+  }
+  return true;
+}
+
+std::optional<LabeledData> build(std::vector<float> pixels, std::vector<std::int32_t> labels,
+                                 int classes) {
+  if (labels.empty()) return std::nullopt;
+  const auto n = static_cast<std::int64_t>(labels.size());
+  LabeledData out;
+  out.classes = classes;
+  out.images = Tensor{{n, 3, 32, 32}, std::move(pixels)};
+  out.labels = std::move(labels);
+  return out;
+}
+
+}  // namespace
+
+std::optional<LabeledData> load_cifar10(const std::string& dir, bool train) {
+  std::vector<float> pixels;
+  std::vector<std::int32_t> labels;
+  if (train) {
+    for (int i = 1; i <= 5; ++i) {
+      if (!append_file(dir + "/data_batch_" + std::to_string(i) + ".bin", 1, pixels, labels)) {
+        return std::nullopt;
+      }
+    }
+  } else {
+    if (!append_file(dir + "/test_batch.bin", 1, pixels, labels)) return std::nullopt;
+  }
+  return build(std::move(pixels), std::move(labels), 10);
+}
+
+std::optional<LabeledData> load_cifar100(const std::string& dir, bool train) {
+  std::vector<float> pixels;
+  std::vector<std::int32_t> labels;
+  const std::string file = train ? "/train.bin" : "/test.bin";
+  if (!append_file(dir + file, 2, pixels, labels)) return std::nullopt;
+  return build(std::move(pixels), std::move(labels), 100);
+}
+
+}  // namespace ttfs::data

@@ -1,0 +1,23 @@
+// Loader for the real CIFAR binary formats.
+//
+// When the user drops the standard binary releases under a data directory
+// (cifar-10-batches-bin/, cifar-100-binary/), the accuracy experiments run on
+// real data instead of the synthetic stand-ins. Returns std::nullopt when the
+// files are absent — callers fall back to data/synthetic.h.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "data/dataset.h"
+
+namespace ttfs::data {
+
+// dir: directory containing data_batch_1.bin .. data_batch_5.bin and
+// test_batch.bin. Pixel values are scaled to [0, 1].
+std::optional<LabeledData> load_cifar10(const std::string& dir, bool train);
+
+// dir: directory containing train.bin / test.bin (fine labels, 100 classes).
+std::optional<LabeledData> load_cifar100(const std::string& dir, bool train);
+
+}  // namespace ttfs::data

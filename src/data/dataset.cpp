@@ -1,0 +1,50 @@
+#include "data/dataset.h"
+
+#include <numeric>
+
+#include "util/check.h"
+
+namespace ttfs::data {
+
+std::vector<nn::Batch> make_batches(const LabeledData& data, std::int64_t batch_size,
+                                    Rng* shuffle_rng) {
+  TTFS_CHECK(batch_size > 0 && data.size() > 0);
+  TTFS_CHECK(data.images.rank() == 4);
+  const std::int64_t n = data.size();
+  const std::int64_t sample_elems = data.images.numel() / n;
+
+  std::vector<std::int64_t> order(static_cast<std::size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+  if (shuffle_rng != nullptr) shuffle_rng->shuffle(order);
+
+  std::vector<nn::Batch> batches;
+  for (std::int64_t start = 0; start < n; start += batch_size) {
+    const std::int64_t count = std::min(batch_size, n - start);
+    nn::Batch batch;
+    batch.images = Tensor{{count, data.images.dim(1), data.images.dim(2), data.images.dim(3)}};
+    batch.labels.resize(static_cast<std::size_t>(count));
+    for (std::int64_t i = 0; i < count; ++i) {
+      const std::int64_t src = order[static_cast<std::size_t>(start + i)];
+      std::copy(data.images.data() + src * sample_elems,
+                data.images.data() + (src + 1) * sample_elems,
+                batch.images.data() + i * sample_elems);
+      batch.labels[static_cast<std::size_t>(i)] = data.labels[static_cast<std::size_t>(src)];
+    }
+    batches.push_back(std::move(batch));
+  }
+  return batches;
+}
+
+LabeledData head(const LabeledData& data, std::int64_t count) {
+  TTFS_CHECK(count > 0);
+  const std::int64_t n = std::min(count, data.size());
+  const std::int64_t sample_elems = data.images.numel() / data.size();
+  LabeledData out;
+  out.classes = data.classes;
+  out.images = Tensor{{n, data.images.dim(1), data.images.dim(2), data.images.dim(3)}};
+  std::copy(data.images.data(), data.images.data() + n * sample_elems, out.images.data());
+  out.labels.assign(data.labels.begin(), data.labels.begin() + n);
+  return out;
+}
+
+}  // namespace ttfs::data

@@ -1,0 +1,35 @@
+// Dataset containers and batching.
+//
+// Images are float32 NCHW in [0, 1] — the TTFS input encoder presents pixel
+// intensity directly as spike timing, so the data pipeline keeps inputs
+// non-negative and bounded by theta0 = 1 (see DESIGN.md).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "nn/metrics.h"
+#include "tensor/tensor.h"
+#include "util/rng.h"
+
+namespace ttfs::data {
+
+struct LabeledData {
+  Tensor images;                     // (N, C, H, W), values in [0, 1]
+  std::vector<std::int32_t> labels;  // N entries in [0, classes)
+  int classes = 0;
+
+  std::int64_t size() const { return images.empty() ? 0 : images.dim(0); }
+};
+
+// Splits into contiguous mini-batches; shuffles sample order first when a
+// generator is provided.
+std::vector<nn::Batch> make_batches(const LabeledData& data, std::int64_t batch_size,
+                                    Rng* shuffle_rng);
+
+// Returns the first `count` samples as a single evaluation subset (used for
+// calibration passes and quick accuracy probes).
+LabeledData head(const LabeledData& data, std::int64_t count);
+
+}  // namespace ttfs::data

@@ -1,0 +1,181 @@
+#include "data/synthetic.h"
+
+#include <cmath>
+
+#include "util/check.h"
+#include "util/thread_pool.h"
+
+namespace ttfs::data {
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+struct ClassStyle {
+  int family = 0;        // 0 grating, 1 ring, 2 checker, 3 blobs
+  double p1 = 0.0;       // family parameter (angle / radius / scale / offset)
+  double p2 = 0.0;
+  double color[3] = {1.0, 1.0, 1.0};
+};
+
+// Deterministic per-class style derived from the dataset seed.
+ClassStyle class_style(const SyntheticSpec& spec, int cls) {
+  Rng rng{spec.seed * 1000003ULL + static_cast<std::uint64_t>(cls) * 7919ULL + 17ULL};
+  ClassStyle s;
+  s.family = cls % 4;
+  const int variant = cls / 4;
+  switch (s.family) {
+    case 0:  // grating: angle spread by golden ratio, frequency by variant
+      s.p1 = std::fmod(0.61803398875 * (variant + 1) + 0.07 * cls, 1.0) * kPi;
+      s.p2 = 2.0 + 1.3 * variant;
+      break;
+    case 1:  // ring: radius and thickness
+      s.p1 = 0.18 + 0.09 * variant;
+      s.p2 = 0.05 + 0.02 * (variant % 3);
+      break;
+    case 2:  // checker: cell count per side
+      s.p1 = 2.0 + variant;
+      s.p2 = rng.uniform(0.0, kPi / 4.0);
+      break;
+    default:  // blobs: separation and angle
+      s.p1 = 0.25 + 0.1 * (variant % 3);
+      s.p2 = rng.uniform(0.0, kPi);
+      break;
+  }
+  for (double& c : s.color) c = 0.4 + 0.6 * rng.uniform(0.0, 1.0);
+  return s;
+}
+
+// Pattern intensity in [0, 1] at normalized coordinates (u, v) in [-0.5, 0.5].
+double pattern_value(const ClassStyle& s, double u, double v, double phase_jitter,
+                     double pos_jitter_u, double pos_jitter_v) {
+  const double x = u - pos_jitter_u;
+  const double y = v - pos_jitter_v;
+  switch (s.family) {
+    case 0: {  // oriented sinusoidal grating
+      const double t = x * std::cos(s.p1) + y * std::sin(s.p1);
+      return 0.5 + 0.5 * std::sin(2.0 * kPi * s.p2 * t + phase_jitter);
+    }
+    case 1: {  // ring
+      const double r = std::sqrt(x * x + y * y);
+      const double d = std::fabs(r - s.p1);
+      return std::exp(-(d * d) / (2.0 * s.p2 * s.p2));
+    }
+    case 2: {  // rotated checkerboard
+      const double a = s.p2 + 0.25 * phase_jitter;
+      const double xr = x * std::cos(a) - y * std::sin(a);
+      const double yr = x * std::sin(a) + y * std::cos(a);
+      const int cx = static_cast<int>(std::floor((xr + 0.5) * s.p1));
+      const int cy = static_cast<int>(std::floor((yr + 0.5) * s.p1));
+      return ((cx + cy) & 1) != 0 ? 0.85 : 0.15;
+    }
+    default: {  // two Gaussian blobs separated along an angle
+      const double a = s.p2 + 0.3 * phase_jitter;
+      const double dx = 0.5 * s.p1 * std::cos(a);
+      const double dy = 0.5 * s.p1 * std::sin(a);
+      const double d1 = (x - dx) * (x - dx) + (y - dy) * (y - dy);
+      const double d2 = (x + dx) * (x + dx) + (y + dy) * (y + dy);
+      const double sig = 0.012;
+      return std::min(1.0, std::exp(-d1 / sig) + std::exp(-d2 / sig));
+    }
+  }
+}
+
+}  // namespace
+
+SyntheticSpec syn_cifar10_spec() {
+  SyntheticSpec s;
+  s.name = "syn-c10";
+  s.classes = 10;
+  s.image = 16;
+  s.noise = 0.18;
+  s.jitter = 0.15;
+  s.distractors = false;
+  s.seed = 101;
+  return s;
+}
+
+SyntheticSpec syn_cifar100_spec() {
+  SyntheticSpec s;
+  s.name = "syn-c100";
+  s.classes = 20;
+  s.image = 16;
+  s.noise = 0.28;
+  s.jitter = 0.25;
+  s.distractors = true;
+  s.seed = 202;
+  return s;
+}
+
+SyntheticSpec syn_tiny_spec() {
+  SyntheticSpec s;
+  s.name = "syn-tiny";
+  s.classes = 20;
+  s.image = 24;
+  s.noise = 0.45;
+  s.jitter = 0.30;
+  s.distractors = true;
+  s.seed = 303;
+  return s;
+}
+
+LabeledData generate_synthetic(const SyntheticSpec& spec, std::int64_t count,
+                               std::uint64_t split_salt) {
+  TTFS_CHECK(spec.classes >= 2 && spec.image >= 4 && count > 0);
+  TTFS_CHECK(spec.channels >= 1 && spec.channels <= 3);
+
+  LabeledData out;
+  out.classes = spec.classes;
+  out.images = Tensor{{count, spec.channels, spec.image, spec.image}};
+  out.labels.resize(static_cast<std::size_t>(count));
+
+  std::vector<ClassStyle> styles;
+  styles.reserve(static_cast<std::size_t>(spec.classes));
+  for (int c = 0; c < spec.classes; ++c) styles.push_back(class_style(spec, c));
+
+  const std::int64_t hw = static_cast<std::int64_t>(spec.image) * spec.image;
+  parallel_for(0, count, [&](std::int64_t lo, std::int64_t hi) {
+    for (std::int64_t i = lo; i < hi; ++i) {
+      Rng rng{spec.seed ^ (split_salt * 0x9E3779B97F4A7C15ULL) ^
+              (static_cast<std::uint64_t>(i) * 0xBF58476D1CE4E5B9ULL + 0x94D049BB133111EBULL)};
+      const int cls = static_cast<int>(i % spec.classes);
+      out.labels[static_cast<std::size_t>(i)] = cls;
+      const ClassStyle& style = styles[static_cast<std::size_t>(cls)];
+
+      const double phase = rng.uniform(-kPi, kPi) * spec.jitter;
+      const double ju = rng.uniform(-spec.jitter, spec.jitter) * 0.3;
+      const double jv = rng.uniform(-spec.jitter, spec.jitter) * 0.3;
+
+      // Optional faint distractor from a different class.
+      const ClassStyle* distract = nullptr;
+      double d_phase = 0.0, d_ju = 0.0, d_jv = 0.0;
+      if (spec.distractors) {
+        const int other =
+            (cls + 1 + static_cast<int>(rng.uniform_int(0, spec.classes - 2))) % spec.classes;
+        distract = &styles[static_cast<std::size_t>(other)];
+        d_phase = rng.uniform(-kPi, kPi) * spec.jitter;
+        d_ju = rng.uniform(-0.1, 0.1);
+        d_jv = rng.uniform(-0.1, 0.1);
+      }
+
+      float* img = out.images.data() + i * spec.channels * hw;
+      for (int y = 0; y < spec.image; ++y) {
+        for (int x = 0; x < spec.image; ++x) {
+          const double u = (x + 0.5) / spec.image - 0.5;
+          const double v = (y + 0.5) / spec.image - 0.5;
+          double val = pattern_value(style, u, v, phase, ju, jv);
+          if (distract != nullptr) {
+            val = 0.65 * val + 0.35 * pattern_value(*distract, u, v, d_phase, d_ju, d_jv);
+          }
+          for (int ch = 0; ch < spec.channels; ++ch) {
+            double pixel = val * style.color[ch] + rng.normal(0.0, spec.noise);
+            pixel = std::min(1.0, std::max(0.0, pixel));
+            img[ch * hw + y * spec.image + x] = static_cast<float>(pixel);
+          }
+        }
+      }
+    }
+  });
+  return out;
+}
+
+}  // namespace ttfs::data

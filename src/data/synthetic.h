@@ -1,0 +1,45 @@
+// Procedural image-classification datasets.
+//
+// Offline stand-ins for CIFAR-10 / CIFAR-100 / Tiny-ImageNet (see DESIGN.md
+// substitution table). Each class renders a parametric pattern — oriented
+// grating, ring, checkerboard or blob pair — with a class-specific color
+// profile; samples add position/phase jitter, optional distractor overlays
+// and Gaussian noise. Difficulty (class count, image size, noise, overlays)
+// escalates across the three presets the way the paper's datasets do, which
+// is what the conversion-loss experiments actually exercise.
+//
+// Everything is deterministic given (spec.seed, sample index), so train and
+// test splits are reproducible and disjoint.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "data/dataset.h"
+
+namespace ttfs::data {
+
+struct SyntheticSpec {
+  std::string name;
+  int classes = 10;
+  int image = 16;      // square side
+  int channels = 3;
+  double noise = 0.15;      // Gaussian sigma added per pixel
+  double jitter = 0.2;      // pattern phase/position jitter amplitude
+  bool distractors = false; // overlay a faint pattern from another class
+  std::uint64_t seed = 1;
+};
+
+// 10-class, 16x16, low noise — CIFAR-10 stand-in ("syn-c10").
+SyntheticSpec syn_cifar10_spec();
+// 20-class, 16x16, noisy with distractors — CIFAR-100 stand-in ("syn-c100").
+SyntheticSpec syn_cifar100_spec();
+// 20-class, 24x24, noisiest — Tiny-ImageNet stand-in ("syn-tiny").
+SyntheticSpec syn_tiny_spec();
+
+// Generates `count` labelled samples. `split_salt` decorrelates splits:
+// use 0 for train, 1 for test.
+LabeledData generate_synthetic(const SyntheticSpec& spec, std::int64_t count,
+                               std::uint64_t split_salt);
+
+}  // namespace ttfs::data

@@ -1,0 +1,27 @@
+// Measured spiking activity profiles.
+//
+// The hardware model's energy and cycle counts scale with how many neurons
+// actually spike. For networks we can run (the trained minis), activity is
+// measured exactly; for paper-scale VGG-16 the measured profile is resampled
+// onto the deeper network by relative depth — firing-rate-vs-depth curves are
+// close to architecture-independent for TTFS conversions, which DESIGN.md
+// documents as the bridging assumption.
+#pragma once
+
+#include <vector>
+
+#include "data/dataset.h"
+#include "snn/network.h"
+
+namespace ttfs::hw {
+
+// Runs `net` over `data` and returns the measured per-fire-phase activity
+// (index 0 = input encoding), as fractions in [0, 1].
+std::vector<double> measure_activity(const snn::SnnNetwork& net, const data::LabeledData& data);
+
+// Resamples a measured profile onto `target_phases` fire phases by linear
+// interpolation over relative depth.
+std::vector<double> resample_activity(const std::vector<double>& measured,
+                                      std::size_t target_phases);
+
+}  // namespace ttfs::hw

@@ -1,0 +1,31 @@
+#include "hw/area_power.h"
+
+namespace ttfs::hw {
+
+PeArrayCost pe_array_cost(const std::string& label, PeKind pe, DecoderKind decoder, int num_pes,
+                          const TechParams& tech) {
+  PeArrayCost cost;
+  cost.label = label;
+  const double datapath_a = pe == PeKind::kLog ? tech.a_logpe : tech.a_mult16x5;
+  const double datapath_p = pe == PeKind::kLog ? tech.p_logpe_mw : tech.p_mult_mw;
+  cost.pe_area_mm2 = num_pes * (datapath_a + tech.a_pe_overhead);
+  cost.pe_power_mw = num_pes * (datapath_p + tech.p_pe_overhead_mw);
+  if (decoder == DecoderKind::kSramPerLayer) {
+    cost.decoder_area_mm2 = tech.a_sram_decoder;
+    cost.decoder_power_mw = tech.p_sram_decoder_mw;
+  } else {
+    cost.decoder_area_mm2 = tech.a_lut_decoder;
+    cost.decoder_power_mw = tech.p_lut_decoder_mw;
+  }
+  return cost;
+}
+
+std::vector<PeArrayCost> fig6_design_points(int num_pes, const TechParams& tech) {
+  return {
+      pe_array_cost("Base", PeKind::kLinear, DecoderKind::kSramPerLayer, num_pes, tech),
+      pe_array_cost("I", PeKind::kLinear, DecoderKind::kSharedLut, num_pes, tech),
+      pe_array_cost("I+II", PeKind::kLog, DecoderKind::kSharedLut, num_pes, tech),
+  };
+}
+
+}  // namespace ttfs::hw

@@ -1,0 +1,39 @@
+// PE-array area/power accounting for the paper's Fig. 6.
+//
+// Fig. 6 normalizes the PE array + spike decoder across three design points:
+//   Base — T2FSNN on SpinalFlow: per-layer kernels force a reconfigurable
+//          SRAM decoder, and spikes are processed by linear (multiplier) PEs;
+//   I    — CAT's unified kernel: the SRAM decoder collapses into one shared
+//          LUT (every layer en/decodes with the same kappa);
+//   II   — logarithmic TTFS coding: linear PEs become log PEs (add+LUT+shift).
+// The paper reports 12.7% area / 14.7% power for step I and a further
+// 8.1% / 8.6% for step II.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "hw/processor.h"
+#include "hw/tech.h"
+
+namespace ttfs::hw {
+
+struct PeArrayCost {
+  std::string label;
+  double pe_area_mm2 = 0.0;
+  double decoder_area_mm2 = 0.0;
+  double pe_power_mw = 0.0;
+  double decoder_power_mw = 0.0;
+
+  double area_mm2() const { return pe_area_mm2 + decoder_area_mm2; }
+  double power_mw() const { return pe_power_mw + decoder_power_mw; }
+};
+
+// Cost of one (PE kind, decoder kind) configuration.
+PeArrayCost pe_array_cost(const std::string& label, PeKind pe, DecoderKind decoder, int num_pes,
+                          const TechParams& tech);
+
+// The three Fig. 6 design points, in order Base, I, I+II.
+std::vector<PeArrayCost> fig6_design_points(int num_pes, const TechParams& tech);
+
+}  // namespace ttfs::hw

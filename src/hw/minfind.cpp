@@ -1,0 +1,47 @@
+#include "hw/minfind.h"
+
+#include <queue>
+
+#include "util/check.h"
+
+namespace ttfs::hw {
+
+MinfindResult minfind_merge(const std::vector<std::vector<snn::Spike>>& queues,
+                            int tree_latency) {
+  TTFS_CHECK(tree_latency >= 0);
+  struct Head {
+    std::int32_t step;
+    std::size_t queue;
+    std::size_t pos;
+  };
+  const auto cmp = [](const Head& a, const Head& b) {
+    return a.step != b.step ? a.step > b.step : a.queue > b.queue;
+  };
+  std::priority_queue<Head, std::vector<Head>, decltype(cmp)> heap{cmp};
+
+  std::int64_t total = 0;
+  for (std::size_t q = 0; q < queues.size(); ++q) {
+    for (std::size_t i = 1; i < queues[q].size(); ++i) {
+      TTFS_CHECK_MSG(queues[q][i - 1].step <= queues[q][i].step,
+                     "queue " << q << " not sorted by step");
+    }
+    total += static_cast<std::int64_t>(queues[q].size());
+    if (!queues[q].empty()) heap.push({queues[q][0].step, q, 0});
+  }
+
+  MinfindResult result;
+  result.sorted.reserve(static_cast<std::size_t>(total));
+  while (!heap.empty()) {
+    const Head head = heap.top();
+    heap.pop();
+    result.sorted.push_back(queues[head.queue][head.pos]);
+    if (head.pos + 1 < queues[head.queue].size()) {
+      heap.push({queues[head.queue][head.pos + 1].step, head.queue, head.pos + 1});
+    }
+  }
+  // One pop per cycle, plus the comparator-tree fill at the start.
+  result.cycles = total + (total > 0 ? tree_latency : 0);
+  return result;
+}
+
+}  // namespace ttfs::hw

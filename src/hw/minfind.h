@@ -1,0 +1,28 @@
+// Input generator: the minfind merge-sort unit (Sec. 4).
+//
+// SpinalFlow-style processors require input spikes sorted by timestep. The
+// input generator holds per-source FIFOs (already time-ordered, since each
+// upstream encoder emits in timestep order) and a minfind tree that pops the
+// globally earliest spike each cycle. This functional model produces the
+// merged stream and the cycle count the processor model charges.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "snn/event_sim.h"
+
+namespace ttfs::hw {
+
+struct MinfindResult {
+  std::vector<snn::Spike> sorted;  // by (step, then queue order)
+  std::int64_t cycles = 0;         // one pop per cycle + tree refill latency
+};
+
+// Merges per-source queues, each internally sorted by step ascending.
+// `tree_latency` models the pipeline depth of the comparator tree (cycles
+// charged once per refill of the head registers).
+MinfindResult minfind_merge(const std::vector<std::vector<snn::Spike>>& queues,
+                            int tree_latency = 3);
+
+}  // namespace ttfs::hw

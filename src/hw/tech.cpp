@@ -1,0 +1,10 @@
+#include "hw/tech.h"
+
+namespace ttfs::hw {
+
+const TechParams& default_tech() {
+  static const TechParams params{};
+  return params;
+}
+
+}  // namespace ttfs::hw

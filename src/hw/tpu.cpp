@@ -1,0 +1,44 @@
+#include "hw/tpu.h"
+
+#include "util/check.h"
+
+namespace ttfs::hw {
+
+TpuReport run_tpu(const NetworkWorkload& workload, const TpuConfig& config,
+                  const TechParams& tech) {
+  TTFS_CHECK(config.rows > 0 && config.cols > 0 && config.utilization > 0.0);
+  TpuReport report;
+  report.workload = workload.name;
+
+  const double macs = static_cast<double>(workload.total_macs());
+  const double macs_per_s = config.peak_gmacs() * 1e9 * config.utilization;
+  report.time_ms = macs / macs_per_s * 1e3;
+  report.fps = 1e3 / report.time_ms;
+  report.gmacs = macs / (report.time_ms * 1e6);
+
+  // On-chip: MAC datapath + weight/activation SRAM traffic per MAC. Weights
+  // stream through the array once per use; activations are read and partial
+  // sums written at array edges (amortized per MAC by 1/rows).
+  const double sram_bits_per_mac =
+      config.weight_bits + 2.0 * config.act_bits / static_cast<double>(config.rows);
+  const double core_pj_per_mac = config.e_mac8_pj + sram_bits_per_mac * tech.e_sram_bit;
+  report.core_uj = macs * core_pj_per_mac * 1e-6 + config.leakage_mw * report.time_ms;
+
+  // Off-chip: full weight stream (model too large for the unified buffer)
+  // plus input image and activations spilled between layers.
+  double act_bits = 0.0;
+  for (const auto& layer : workload.layers) {
+    if (layer.kind == LayerKind::kPool) continue;
+    act_bits += static_cast<double>(layer.out_neurons()) * config.act_bits;
+  }
+  const double dram_bits =
+      static_cast<double>(workload.total_weights()) * config.weight_bits + act_bits;
+  report.dram_uj = dram_bits * tech.e_dram_bit * 1e-6;
+
+  report.power_mw = report.core_uj / report.time_ms;
+  report.area_mm2 = config.rows * config.cols * config.a_mac_mm2 +
+                    config.unified_buffer_kb * tech.a_sram_per_kb + config.a_control_mm2;
+  return report;
+}
+
+}  // namespace ttfs::hw

@@ -1,0 +1,49 @@
+// TPU-like ANN accelerator baseline (paper Table 4's "TPU (redesigned)").
+//
+// The paper redesigns the TPU [16] down to a 16x16 systolic MAC array at
+// 250 MHz in the same 28 nm node (64 GMAC/s peak, 8-bit weights, on- +
+// off-chip memory). This model charges the dense ANN MAC workload to that
+// array — a dense accelerator pays for every MAC regardless of activation
+// sparsity, which is exactly the contrast the comparison draws against the
+// event-driven SNN processor.
+#pragma once
+
+#include <string>
+
+#include "hw/tech.h"
+#include "hw/workload.h"
+
+namespace ttfs::hw {
+
+struct TpuConfig {
+  int rows = 16;
+  int cols = 16;
+  double freq_mhz = 250.0;
+  int weight_bits = 8;
+  int act_bits = 8;
+  double utilization = 1.0;       // systolic array fill efficiency
+  double e_mac8_pj = 0.60;        // 8-bit MAC energy (datapath only)
+  double unified_buffer_kb = 700; // activation/weight staging SRAM
+  double a_mac_mm2 = 0.0008;      // one MAC cell incl. pipeline regs
+  double a_control_mm2 = 0.05;
+  double leakage_mw = 9.0;
+
+  double peak_gmacs() const { return rows * cols * freq_mhz * 1e-3; }
+};
+
+struct TpuReport {
+  std::string workload;
+  double time_ms = 0.0;
+  double fps = 0.0;
+  double power_mw = 0.0;       // on-chip
+  double gmacs = 0.0;          // sustained
+  double area_mm2 = 0.0;
+  double core_uj = 0.0;        // on-chip energy per image
+  double dram_uj = 0.0;
+  double energy_per_image_uj() const { return core_uj + dram_uj; }
+};
+
+TpuReport run_tpu(const NetworkWorkload& workload, const TpuConfig& config,
+                  const TechParams& tech);
+
+}  // namespace ttfs::hw

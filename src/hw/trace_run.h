@@ -1,0 +1,22 @@
+// Trace-driven processor evaluation.
+//
+// The analytic model (processor.h) prices a workload from per-layer activity
+// *fractions*; this variant instead consumes the exact spike trace of a real
+// network on a real image (snn/event_sim.h), so spike counts, SOP counts and
+// DRAM traffic are measured, not modelled. Used to validate the analytic
+// model against the simulators and to price the networks we actually train.
+#pragma once
+
+#include "hw/processor.h"
+#include "snn/network.h"
+#include "tensor/tensor.h"
+
+namespace ttfs::hw {
+
+// Runs `image` through the event simulator and prices the resulting spike
+// trace on the processor configuration. The report has one layer entry per
+// weighted layer (pools are folded into their source stage, as in hardware).
+ProcessorReport run_processor_on_trace(const SnnProcessorModel& model,
+                                       const snn::SnnNetwork& net, const Tensor& image);
+
+}  // namespace ttfs::hw

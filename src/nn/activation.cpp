@@ -1,0 +1,27 @@
+#include "nn/activation.h"
+
+#include "util/thread_pool.h"
+
+namespace ttfs::nn {
+
+Tensor ActivationLayer::forward(const Tensor& x, bool train) {
+  if (train) input_ = x;
+  Tensor y{x.shape()};
+  const ScalarFn& f = *fn_;
+  parallel_for(0, x.numel(), [&](std::int64_t lo, std::int64_t hi) {
+    for (std::int64_t i = lo; i < hi; ++i) y[i] = f.forward(x[i]);
+  });
+  return y;
+}
+
+Tensor ActivationLayer::backward(const Tensor& grad_out) {
+  TTFS_CHECK_MSG(grad_out.shape() == input_.shape(), "backward before forward");
+  Tensor gx{grad_out.shape()};
+  const ScalarFn& f = *fn_;
+  parallel_for(0, grad_out.numel(), [&](std::int64_t lo, std::int64_t hi) {
+    for (std::int64_t i = lo; i < hi; ++i) gx[i] = grad_out[i] * f.grad(input_[i]);
+  });
+  return gx;
+}
+
+}  // namespace ttfs::nn

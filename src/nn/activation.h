@@ -1,0 +1,75 @@
+// Pluggable scalar activation functions.
+//
+// The CAT training procedure (paper Sec. 3.1) swaps the network's activation
+// function across training stages: ReLU -> phi_Clip -> phi_TTFS. To support
+// that without rebuilding the model, ActivationLayer holds a shared
+// ScalarFn that the trainer replaces in place. Each site is tagged with
+// where it sits (applied to the network input vs. after a hidden layer) since
+// CAT mode II switches only the input site.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "nn/layer.h"
+
+namespace ttfs::nn {
+
+// A differentiable (possibly via straight-through estimator) scalar function.
+class ScalarFn {
+ public:
+  virtual ~ScalarFn() = default;
+  // y = f(x).
+  virtual float forward(float x) const = 0;
+  // dy/dx evaluated at input x (STE surrogate for discrete functions).
+  virtual float grad(float x) const = 0;
+  virtual std::string name() const = 0;
+};
+
+// f(x) = x. Placeholder for activation sites that are currently disabled
+// (e.g. the input-encoding site before CAT mode II kicks in).
+class IdentityFn final : public ScalarFn {
+ public:
+  float forward(float x) const override { return x; }
+  float grad(float) const override { return 1.0F; }
+  std::string name() const override { return "identity"; }
+};
+
+// Standard rectifier, the stage-1 activation of the CAT schedule.
+class ReluFn final : public ScalarFn {
+ public:
+  float forward(float x) const override { return x > 0.0F ? x : 0.0F; }
+  float grad(float x) const override { return x > 0.0F ? 1.0F : 0.0F; }
+  std::string name() const override { return "relu"; }
+};
+
+// Where an activation site sits in the network; CAT switches sites by kind.
+enum class ActSite { kInput, kHidden };
+
+// Applies a ScalarFn elementwise. The function object is shared and swappable.
+class ActivationLayer final : public Layer {
+ public:
+  ActivationLayer(std::shared_ptr<const ScalarFn> fn, ActSite site)
+      : fn_{std::move(fn)}, site_{site} {
+    TTFS_CHECK(fn_ != nullptr);
+  }
+
+  Tensor forward(const Tensor& x, bool train) override;
+  Tensor backward(const Tensor& grad_out) override;
+
+  void set_fn(std::shared_ptr<const ScalarFn> fn) {
+    TTFS_CHECK(fn != nullptr);
+    fn_ = std::move(fn);
+  }
+  const ScalarFn& fn() const { return *fn_; }
+  ActSite site() const { return site_; }
+
+  std::string name() const override { return "act(" + fn_->name() + ")"; }
+
+ private:
+  std::shared_ptr<const ScalarFn> fn_;
+  ActSite site_;
+  Tensor input_;  // cached for backward
+};
+
+}  // namespace ttfs::nn

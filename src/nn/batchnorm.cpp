@@ -1,0 +1,130 @@
+#include "nn/batchnorm.h"
+
+#include <cmath>
+
+#include "util/thread_pool.h"
+
+namespace ttfs::nn {
+
+BatchNorm2d::BatchNorm2d(std::int64_t channels, float momentum, float eps)
+    : channels_{channels},
+      momentum_{momentum},
+      eps_{eps},
+      gamma_{"bn.gamma", Tensor::full({channels}, 1.0F)},
+      beta_{"bn.beta", Tensor{{channels}}},
+      running_mean_{{channels}},
+      running_var_{Tensor::full({channels}, 1.0F)} {
+  TTFS_CHECK(channels > 0);
+}
+
+Tensor BatchNorm2d::forward(const Tensor& x, bool train) {
+  TTFS_CHECK_MSG(x.rank() == 4 && x.dim(1) == channels_,
+                 "bn input " << x.shape_str() << " expected channels " << channels_);
+  const std::int64_t batch = x.dim(0);
+  const std::int64_t hw = x.dim(2) * x.dim(3);
+  const std::int64_t per_ch = batch * hw;
+  Tensor y{x.shape()};
+
+  if (train) {
+    input_ = x;
+    x_hat_ = Tensor{x.shape()};
+    batch_mean_.assign(static_cast<std::size_t>(channels_), 0.0F);
+    batch_inv_std_.assign(static_cast<std::size_t>(channels_), 0.0F);
+
+    parallel_for(0, channels_, [&](std::int64_t clo, std::int64_t chi) {
+      for (std::int64_t c = clo; c < chi; ++c) {
+        double sum = 0.0, sum_sq = 0.0;
+        for (std::int64_t n = 0; n < batch; ++n) {
+          const float* src = x.data() + (n * channels_ + c) * hw;
+          for (std::int64_t i = 0; i < hw; ++i) {
+            sum += src[i];
+            sum_sq += static_cast<double>(src[i]) * src[i];
+          }
+        }
+        const double mean = sum / per_ch;
+        const double var = sum_sq / per_ch - mean * mean;
+        const float inv_std = 1.0F / std::sqrt(static_cast<float>(var) + eps_);
+        batch_mean_[static_cast<std::size_t>(c)] = static_cast<float>(mean);
+        batch_inv_std_[static_cast<std::size_t>(c)] = inv_std;
+
+        running_mean_[c] = (1.0F - momentum_) * running_mean_[c] +
+                           momentum_ * static_cast<float>(mean);
+        running_var_[c] =
+            (1.0F - momentum_) * running_var_[c] + momentum_ * static_cast<float>(var);
+
+        const float g = gamma_.value[c];
+        const float b = beta_.value[c];
+        for (std::int64_t n = 0; n < batch; ++n) {
+          const float* src = x.data() + (n * channels_ + c) * hw;
+          float* xh = x_hat_.data() + (n * channels_ + c) * hw;
+          float* dst = y.data() + (n * channels_ + c) * hw;
+          for (std::int64_t i = 0; i < hw; ++i) {
+            xh[i] = (src[i] - static_cast<float>(mean)) * inv_std;
+            dst[i] = g * xh[i] + b;
+          }
+        }
+      }
+    });
+  } else {
+    parallel_for(0, channels_, [&](std::int64_t clo, std::int64_t chi) {
+      for (std::int64_t c = clo; c < chi; ++c) {
+        const float inv_std = 1.0F / std::sqrt(running_var_[c] + eps_);
+        const float g = gamma_.value[c];
+        const float b = beta_.value[c];
+        const float m = running_mean_[c];
+        for (std::int64_t n = 0; n < batch; ++n) {
+          const float* src = x.data() + (n * channels_ + c) * hw;
+          float* dst = y.data() + (n * channels_ + c) * hw;
+          for (std::int64_t i = 0; i < hw; ++i) dst[i] = g * (src[i] - m) * inv_std + b;
+        }
+      }
+    });
+  }
+  return y;
+}
+
+Tensor BatchNorm2d::backward(const Tensor& grad_out) {
+  TTFS_CHECK_MSG(!input_.empty(), "backward before forward(train)");
+  const std::int64_t batch = input_.dim(0);
+  const std::int64_t hw = input_.dim(2) * input_.dim(3);
+  const std::int64_t per_ch = batch * hw;
+  Tensor gx{input_.shape()};
+
+  parallel_for(0, channels_, [&](std::int64_t clo, std::int64_t chi) {
+    for (std::int64_t c = clo; c < chi; ++c) {
+      double sum_dy = 0.0, sum_dy_xhat = 0.0;
+      for (std::int64_t n = 0; n < batch; ++n) {
+        const float* dy = grad_out.data() + (n * channels_ + c) * hw;
+        const float* xh = x_hat_.data() + (n * channels_ + c) * hw;
+        for (std::int64_t i = 0; i < hw; ++i) {
+          sum_dy += dy[i];
+          sum_dy_xhat += static_cast<double>(dy[i]) * xh[i];
+        }
+      }
+      gamma_.grad[c] += static_cast<float>(sum_dy_xhat);
+      beta_.grad[c] += static_cast<float>(sum_dy);
+
+      const float g = gamma_.value[c];
+      const float inv_std = batch_inv_std_[static_cast<std::size_t>(c)];
+      const float mean_dy = static_cast<float>(sum_dy / per_ch);
+      const float mean_dy_xhat = static_cast<float>(sum_dy_xhat / per_ch);
+      for (std::int64_t n = 0; n < batch; ++n) {
+        const float* dy = grad_out.data() + (n * channels_ + c) * hw;
+        const float* xh = x_hat_.data() + (n * channels_ + c) * hw;
+        float* dst = gx.data() + (n * channels_ + c) * hw;
+        for (std::int64_t i = 0; i < hw; ++i) {
+          dst[i] = g * inv_std * (dy[i] - mean_dy - xh[i] * mean_dy_xhat);
+        }
+      }
+    }
+  });
+  return gx;
+}
+
+std::vector<Param*> BatchNorm2d::params() { return {&gamma_, &beta_}; }
+
+std::vector<Tensor*> BatchNorm2d::state_tensors() {
+  return {&gamma_.value, &beta_.value, &running_mean_, &running_var_};
+}
+
+}  // namespace ttfs::nn

@@ -1,0 +1,45 @@
+// Batch normalization over NCHW channels.
+//
+// Training uses batch statistics and updates running estimates; evaluation
+// uses the running estimates. The converter (cat/conversion.h) fuses the
+// affine transform and running stats into the preceding conv/linear weights,
+// which is why gamma/beta/running_mean/running_var are exposed.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "nn/layer.h"
+
+namespace ttfs::nn {
+
+class BatchNorm2d final : public Layer {
+ public:
+  explicit BatchNorm2d(std::int64_t channels, float momentum = 0.1F, float eps = 1e-5F);
+
+  Tensor forward(const Tensor& x, bool train) override;
+  Tensor backward(const Tensor& grad_out) override;
+
+  std::vector<Param*> params() override;
+  std::vector<Tensor*> state_tensors() override;
+  std::string name() const override { return "bn(" + std::to_string(channels_) + ")"; }
+
+  Param& gamma() { return gamma_; }
+  Param& beta() { return beta_; }
+  Tensor& running_mean() { return running_mean_; }
+  Tensor& running_var() { return running_var_; }
+  float eps() const { return eps_; }
+  std::int64_t channels() const { return channels_; }
+
+ private:
+  std::int64_t channels_;
+  float momentum_, eps_;
+  Param gamma_, beta_;
+  Tensor running_mean_, running_var_;
+
+  // Cached forward context for backward.
+  Tensor input_, x_hat_;
+  std::vector<float> batch_mean_, batch_inv_std_;
+};
+
+}  // namespace ttfs::nn

@@ -1,0 +1,128 @@
+#include "nn/conv2d.h"
+
+#include <atomic>
+#include <vector>
+
+#include "nn/init.h"
+#include "tensor/sgemm.h"
+#include "util/thread_pool.h"
+
+namespace ttfs::nn {
+
+Conv2d::Conv2d(std::int64_t in_ch, std::int64_t out_ch, std::int64_t kernel, std::int64_t stride,
+               std::int64_t pad, bool bias, Rng& rng)
+    : in_ch_{in_ch},
+      out_ch_{out_ch},
+      kernel_{kernel},
+      stride_{stride},
+      pad_{pad},
+      has_bias_{bias},
+      weight_{"conv.w", Tensor{{out_ch, in_ch, kernel, kernel}}},
+      bias_{"conv.b", Tensor{{out_ch}}} {
+  TTFS_CHECK(in_ch > 0 && out_ch > 0 && kernel > 0 && stride > 0 && pad >= 0);
+  kaiming_normal(weight_.value, in_ch * kernel * kernel, rng);
+}
+
+ConvGeom Conv2d::geom(std::int64_t in_h, std::int64_t in_w) const {
+  ConvGeom g;
+  g.in_ch = in_ch_;
+  g.in_h = in_h;
+  g.in_w = in_w;
+  g.kh = kernel_;
+  g.kw = kernel_;
+  g.stride = stride_;
+  g.pad = pad_;
+  return g;
+}
+
+Tensor Conv2d::forward(const Tensor& x, bool train) {
+  TTFS_CHECK_MSG(x.rank() == 4 && x.dim(1) == in_ch_,
+                 "conv2d input " << x.shape_str() << " expected in_ch " << in_ch_);
+  if (train) input_ = x;
+  const std::int64_t batch = x.dim(0);
+  const ConvGeom g = geom(x.dim(2), x.dim(3));
+  const std::int64_t oh = g.out_h();
+  const std::int64_t ow = g.out_w();
+  TTFS_CHECK_MSG(oh > 0 && ow > 0, "conv output degenerate for input " << x.shape_str());
+
+  Tensor y{{batch, out_ch_, oh, ow}};
+  const std::int64_t ck2 = g.col_rows();
+  const std::int64_t cols_n = g.col_cols();
+
+  parallel_for(0, batch, [&](std::int64_t lo, std::int64_t hi) {
+    std::vector<float> cols(static_cast<std::size_t>(ck2 * cols_n));
+    for (std::int64_t n = lo; n < hi; ++n) {
+      im2col(g, x.data() + n * in_ch_ * g.in_h * g.in_w, cols.data());
+      float* out = y.data() + n * out_ch_ * cols_n;
+      sgemm(out_ch_, cols_n, ck2, 1.0F, weight_.value.data(), cols.data(), 0.0F, out);
+      if (has_bias_) {
+        for (std::int64_t c = 0; c < out_ch_; ++c) {
+          const float b = bias_.value[c];
+          float* row = out + c * cols_n;
+          for (std::int64_t i = 0; i < cols_n; ++i) row[i] += b;
+        }
+      }
+    }
+  });
+  return y;
+}
+
+Tensor Conv2d::backward(const Tensor& grad_out) {
+  TTFS_CHECK_MSG(!input_.empty(), "backward before forward");
+  const std::int64_t batch = input_.dim(0);
+  const ConvGeom g = geom(input_.dim(2), input_.dim(3));
+  const std::int64_t ck2 = g.col_rows();
+  const std::int64_t cols_n = g.col_cols();
+  TTFS_CHECK(grad_out.dim(0) == batch && grad_out.dim(1) == out_ch_);
+
+  Tensor gx{input_.shape()};
+  const unsigned n_threads = std::max(1U, global_pool().size());
+  // Per-thread weight/bias gradient accumulators, reduced at the end.
+  std::vector<Tensor> wg(n_threads, Tensor{weight_.value.shape()});
+  std::vector<Tensor> bg(n_threads, Tensor{bias_.value.shape()});
+  std::atomic<unsigned> slot_counter{0};
+
+  parallel_for(0, batch, [&](std::int64_t lo, std::int64_t hi) {
+    const unsigned slot = slot_counter.fetch_add(1) % n_threads;
+    std::vector<float> cols(static_cast<std::size_t>(ck2 * cols_n));
+    std::vector<float> dcols(static_cast<std::size_t>(ck2 * cols_n));
+    for (std::int64_t n = lo; n < hi; ++n) {
+      im2col(g, input_.data() + n * in_ch_ * g.in_h * g.in_w, cols.data());
+      const float* dy = grad_out.data() + n * out_ch_ * cols_n;
+      // dW += dY (out_ch x P) * cols^T (P x ck2)
+      sgemm_bt(out_ch_, ck2, cols_n, 1.0F, dy, cols.data(), 1.0F, wg[slot].data());
+      // dcols = W^T (ck2 x out_ch) * dY (out_ch x P)
+      sgemm_at(ck2, cols_n, out_ch_, 1.0F, weight_.value.data(), dy, 0.0F, dcols.data());
+      col2im(g, dcols.data(), gx.data() + n * in_ch_ * g.in_h * g.in_w);
+      if (has_bias_) {
+        for (std::int64_t c = 0; c < out_ch_; ++c) {
+          const float* row = dy + c * cols_n;
+          float acc = 0.0F;
+          for (std::int64_t i = 0; i < cols_n; ++i) acc += row[i];
+          bg[slot][c] += acc;
+        }
+      }
+    }
+  });
+
+  for (unsigned t = 0; t < n_threads; ++t) {
+    for (std::int64_t i = 0; i < weight_.grad.numel(); ++i) weight_.grad[i] += wg[t][i];
+    if (has_bias_) {
+      for (std::int64_t i = 0; i < bias_.grad.numel(); ++i) bias_.grad[i] += bg[t][i];
+    }
+  }
+  return gx;
+}
+
+std::vector<Param*> Conv2d::params() {
+  std::vector<Param*> out{&weight_};
+  if (has_bias_) out.push_back(&bias_);
+  return out;
+}
+
+std::string Conv2d::name() const {
+  return "conv" + std::to_string(kernel_) + "x" + std::to_string(kernel_) + "(" +
+         std::to_string(in_ch_) + "->" + std::to_string(out_ch_) + ")";
+}
+
+}  // namespace ttfs::nn

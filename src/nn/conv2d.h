@@ -1,0 +1,46 @@
+// 2-D convolution layer (NCHW), im2col + GEMM implementation.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "nn/layer.h"
+#include "tensor/im2col.h"
+#include "util/rng.h"
+
+namespace ttfs::nn {
+
+class Conv2d final : public Layer {
+ public:
+  // Square kernel, symmetric padding. Bias is optional because networks using
+  // BatchNorm fold the shift into BN (and conversion later fuses both).
+  Conv2d(std::int64_t in_ch, std::int64_t out_ch, std::int64_t kernel, std::int64_t stride,
+         std::int64_t pad, bool bias, Rng& rng);
+
+  Tensor forward(const Tensor& x, bool train) override;
+  Tensor backward(const Tensor& grad_out) override;
+
+  std::vector<Param*> params() override;
+  std::string name() const override;
+
+  Param& weight() { return weight_; }
+  Param& bias() { return bias_; }
+  bool has_bias() const { return has_bias_; }
+  std::int64_t in_ch() const { return in_ch_; }
+  std::int64_t out_ch() const { return out_ch_; }
+  std::int64_t kernel() const { return kernel_; }
+  std::int64_t stride() const { return stride_; }
+  std::int64_t pad() const { return pad_; }
+
+ private:
+  ConvGeom geom(std::int64_t in_h, std::int64_t in_w) const;
+
+  std::int64_t in_ch_, out_ch_, kernel_, stride_, pad_;
+  bool has_bias_;
+  Param weight_;  // (out_ch, in_ch, k, k)
+  Param bias_;    // (out_ch)
+  Tensor input_;  // cached for backward
+};
+
+}  // namespace ttfs::nn

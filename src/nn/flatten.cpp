@@ -1,0 +1,17 @@
+#include "nn/flatten.h"
+
+namespace ttfs::nn {
+
+Tensor Flatten::forward(const Tensor& x, bool train) {
+  TTFS_CHECK(x.rank() >= 2);
+  if (train) in_shape_ = x.shape();
+  const std::int64_t batch = x.dim(0);
+  return x.reshaped({batch, x.numel() / batch});
+}
+
+Tensor Flatten::backward(const Tensor& grad_out) {
+  TTFS_CHECK_MSG(!in_shape_.empty(), "backward before forward(train)");
+  return grad_out.reshaped(in_shape_);
+}
+
+}  // namespace ttfs::nn

@@ -1,0 +1,21 @@
+// Flattens NCHW activations to (batch, features) between conv and FC stages.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "nn/layer.h"
+
+namespace ttfs::nn {
+
+class Flatten final : public Layer {
+ public:
+  Tensor forward(const Tensor& x, bool train) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::string name() const override { return "flatten"; }
+
+ private:
+  std::vector<std::int64_t> in_shape_;
+};
+
+}  // namespace ttfs::nn

@@ -1,0 +1,92 @@
+#include "nn/functional.h"
+
+#include <limits>
+#include <vector>
+
+#include "tensor/im2col.h"
+#include "tensor/sgemm.h"
+#include "util/thread_pool.h"
+
+namespace ttfs::nn {
+
+Tensor conv2d_forward(const Tensor& x, const Tensor& w, const Tensor* b, std::int64_t stride,
+                      std::int64_t pad) {
+  TTFS_CHECK(x.rank() == 4 && w.rank() == 4);
+  TTFS_CHECK_MSG(x.dim(1) == w.dim(1), "conv channel mismatch");
+  const std::int64_t batch = x.dim(0);
+  const std::int64_t out_ch = w.dim(0);
+  ConvGeom g;
+  g.in_ch = x.dim(1);
+  g.in_h = x.dim(2);
+  g.in_w = x.dim(3);
+  g.kh = w.dim(2);
+  g.kw = w.dim(3);
+  g.stride = stride;
+  g.pad = pad;
+  const std::int64_t oh = g.out_h();
+  const std::int64_t ow = g.out_w();
+  TTFS_CHECK(oh > 0 && ow > 0);
+
+  Tensor y{{batch, out_ch, oh, ow}};
+  const std::int64_t ck2 = g.col_rows();
+  const std::int64_t cols_n = g.col_cols();
+  parallel_for(0, batch, [&](std::int64_t lo, std::int64_t hi) {
+    std::vector<float> cols(static_cast<std::size_t>(ck2 * cols_n));
+    for (std::int64_t n = lo; n < hi; ++n) {
+      im2col(g, x.data() + n * g.in_ch * g.in_h * g.in_w, cols.data());
+      float* out = y.data() + n * out_ch * cols_n;
+      sgemm(out_ch, cols_n, ck2, 1.0F, w.data(), cols.data(), 0.0F, out);
+      if (b != nullptr) {
+        for (std::int64_t c = 0; c < out_ch; ++c) {
+          const float bias = (*b)[c];
+          for (std::int64_t i = 0; i < cols_n; ++i) out[c * cols_n + i] += bias;
+        }
+      }
+    }
+  });
+  return y;
+}
+
+Tensor linear_forward(const Tensor& x, const Tensor& w, const Tensor* b) {
+  TTFS_CHECK(x.rank() == 2 && w.rank() == 2);
+  TTFS_CHECK_MSG(x.dim(1) == w.dim(1), "linear feature mismatch");
+  const std::int64_t batch = x.dim(0);
+  const std::int64_t out = w.dim(0);
+  Tensor y{{batch, out}};
+  sgemm_bt(batch, out, x.dim(1), 1.0F, x.data(), w.data(), 0.0F, y.data());
+  if (b != nullptr) {
+    for (std::int64_t n = 0; n < batch; ++n) {
+      for (std::int64_t j = 0; j < out; ++j) y.at(n, j) += (*b)[j];
+    }
+  }
+  return y;
+}
+
+Tensor maxpool_forward(const Tensor& x, std::int64_t kernel, std::int64_t stride) {
+  TTFS_CHECK(x.rank() == 4 && kernel > 0 && stride > 0);
+  const std::int64_t batch = x.dim(0), ch = x.dim(1), h = x.dim(2), w = x.dim(3);
+  const std::int64_t oh = (h - kernel) / stride + 1;
+  const std::int64_t ow = (w - kernel) / stride + 1;
+  TTFS_CHECK(oh > 0 && ow > 0);
+  Tensor y{{batch, ch, oh, ow}};
+  parallel_for(0, batch * ch, [&](std::int64_t lo, std::int64_t hi) {
+    for (std::int64_t nc = lo; nc < hi; ++nc) {
+      const float* plane = x.data() + nc * h * w;
+      float* out = y.data() + nc * oh * ow;
+      for (std::int64_t oy = 0; oy < oh; ++oy) {
+        for (std::int64_t ox = 0; ox < ow; ++ox) {
+          float best = -std::numeric_limits<float>::infinity();
+          for (std::int64_t ky = 0; ky < kernel; ++ky) {
+            for (std::int64_t kx = 0; kx < kernel; ++kx) {
+              best = std::max(best, plane[(oy * stride + ky) * w + ox * stride + kx]);
+            }
+          }
+          out[oy * ow + ox] = best;
+        }
+      }
+    }
+  });
+  return y;
+}
+
+}  // namespace ttfs::nn

@@ -1,0 +1,21 @@
+// Stateless forward-only ops shared by the training layers and the SNN
+// simulator (which re-runs the same linear algebra on decoded spike values).
+#pragma once
+
+#include <cstdint>
+
+#include "tensor/tensor.h"
+
+namespace ttfs::nn {
+
+// x: (N, Cin, H, W); w: (Cout, Cin, k, k); b: (Cout) or nullptr.
+Tensor conv2d_forward(const Tensor& x, const Tensor& w, const Tensor* b, std::int64_t stride,
+                      std::int64_t pad);
+
+// x: (N, in); w: (out, in); b: (out) or nullptr.
+Tensor linear_forward(const Tensor& x, const Tensor& w, const Tensor* b);
+
+// x: (N, C, H, W), square window/stride.
+Tensor maxpool_forward(const Tensor& x, std::int64_t kernel, std::int64_t stride);
+
+}  // namespace ttfs::nn

@@ -1,0 +1,39 @@
+// Layer interface for the training framework.
+//
+// Layers own their parameters and the activations cached between forward and
+// backward. forward(x, train) returns the output; backward(grad_out) returns
+// the gradient with respect to the layer input and accumulates parameter
+// gradients (so gradient accumulation across micro-batches works naturally).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/param.h"
+#include "tensor/tensor.h"
+
+namespace ttfs::nn {
+
+class Layer {
+ public:
+  virtual ~Layer() = default;
+
+  virtual Tensor forward(const Tensor& x, bool train) = 0;
+  virtual Tensor backward(const Tensor& grad_out) = 0;
+
+  // Trainable parameters (empty for stateless layers).
+  virtual std::vector<Param*> params() { return {}; }
+
+  // All persistent tensors, parameters plus buffers (e.g. BN running stats),
+  // in a stable order; used by model serialization.
+  virtual std::vector<Tensor*> state_tensors() {
+    std::vector<Tensor*> out;
+    for (Param* p : params()) out.push_back(&p->value);
+    return out;
+  }
+
+  virtual std::string name() const = 0;
+};
+
+}  // namespace ttfs::nn

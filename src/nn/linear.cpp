@@ -1,0 +1,62 @@
+#include "nn/linear.h"
+
+#include "nn/init.h"
+#include "tensor/sgemm.h"
+
+namespace ttfs::nn {
+
+Linear::Linear(std::int64_t in_features, std::int64_t out_features, bool bias, Rng& rng)
+    : in_{in_features},
+      out_{out_features},
+      has_bias_{bias},
+      weight_{"linear.w", Tensor{{out_features, in_features}}},
+      bias_{"linear.b", Tensor{{out_features}}} {
+  TTFS_CHECK(in_features > 0 && out_features > 0);
+  kaiming_normal(weight_.value, in_features, rng);
+}
+
+Tensor Linear::forward(const Tensor& x, bool train) {
+  TTFS_CHECK_MSG(x.rank() == 2 && x.dim(1) == in_,
+                 "linear input " << x.shape_str() << " expected in " << in_);
+  if (train) input_ = x;
+  const std::int64_t batch = x.dim(0);
+  Tensor y{{batch, out_}};
+  // y (B x out) = x (B x in) * W^T (in x out); W stored (out x in).
+  sgemm_bt(batch, out_, in_, 1.0F, x.data(), weight_.value.data(), 0.0F, y.data());
+  if (has_bias_) {
+    for (std::int64_t b = 0; b < batch; ++b) {
+      for (std::int64_t j = 0; j < out_; ++j) y.at(b, j) += bias_.value[j];
+    }
+  }
+  return y;
+}
+
+Tensor Linear::backward(const Tensor& grad_out) {
+  TTFS_CHECK_MSG(!input_.empty(), "backward before forward");
+  const std::int64_t batch = input_.dim(0);
+  TTFS_CHECK(grad_out.dim(0) == batch && grad_out.dim(1) == out_);
+
+  // dW (out x in) += dY^T (out x B) * x (B x in)
+  sgemm_at(out_, in_, batch, 1.0F, grad_out.data(), input_.data(), 1.0F, weight_.grad.data());
+  if (has_bias_) {
+    for (std::int64_t b = 0; b < batch; ++b) {
+      for (std::int64_t j = 0; j < out_; ++j) bias_.grad[j] += grad_out.at(b, j);
+    }
+  }
+  // dX (B x in) = dY (B x out) * W (out x in)
+  Tensor gx{{batch, in_}};
+  sgemm(batch, in_, out_, 1.0F, grad_out.data(), weight_.value.data(), 0.0F, gx.data());
+  return gx;
+}
+
+std::vector<Param*> Linear::params() {
+  std::vector<Param*> out{&weight_};
+  if (has_bias_) out.push_back(&bias_);
+  return out;
+}
+
+std::string Linear::name() const {
+  return "linear(" + std::to_string(in_) + "->" + std::to_string(out_) + ")";
+}
+
+}  // namespace ttfs::nn

@@ -1,0 +1,36 @@
+// Fully connected layer: y = x W^T + b, weights stored (out, in).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "nn/layer.h"
+#include "util/rng.h"
+
+namespace ttfs::nn {
+
+class Linear final : public Layer {
+ public:
+  Linear(std::int64_t in_features, std::int64_t out_features, bool bias, Rng& rng);
+
+  Tensor forward(const Tensor& x, bool train) override;
+  Tensor backward(const Tensor& grad_out) override;
+
+  std::vector<Param*> params() override;
+  std::string name() const override;
+
+  Param& weight() { return weight_; }
+  Param& bias() { return bias_; }
+  bool has_bias() const { return has_bias_; }
+  std::int64_t in_features() const { return in_; }
+  std::int64_t out_features() const { return out_; }
+
+ private:
+  std::int64_t in_, out_;
+  bool has_bias_;
+  Param weight_;  // (out, in)
+  Param bias_;    // (out)
+  Tensor input_;
+};
+
+}  // namespace ttfs::nn

@@ -1,0 +1,52 @@
+#include "nn/loss.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace ttfs::nn {
+
+LossResult softmax_cross_entropy(const Tensor& logits, const std::vector<std::int32_t>& labels) {
+  TTFS_CHECK(logits.rank() == 2);
+  const std::int64_t batch = logits.dim(0);
+  const std::int64_t classes = logits.dim(1);
+  TTFS_CHECK_MSG(static_cast<std::int64_t>(labels.size()) == batch,
+                 "labels " << labels.size() << " != batch " << batch);
+
+  LossResult result;
+  result.grad_logits = Tensor{logits.shape()};
+  double total_loss = 0.0;
+
+  for (std::int64_t b = 0; b < batch; ++b) {
+    const std::int32_t label = labels[static_cast<std::size_t>(b)];
+    TTFS_CHECK_MSG(label >= 0 && label < classes, "label " << label << " out of range");
+
+    float max_logit = logits.at(b, 0);
+    std::int64_t arg = 0;
+    for (std::int64_t j = 1; j < classes; ++j) {
+      if (logits.at(b, j) > max_logit) {
+        max_logit = logits.at(b, j);
+        arg = j;
+      }
+    }
+    if (arg == label) ++result.correct;
+
+    double denom = 0.0;
+    for (std::int64_t j = 0; j < classes; ++j) {
+      denom += std::exp(static_cast<double>(logits.at(b, j) - max_logit));
+    }
+    const double log_denom = std::log(denom);
+    total_loss += log_denom - (logits.at(b, label) - max_logit);
+
+    const float inv_batch = 1.0F / static_cast<float>(batch);
+    for (std::int64_t j = 0; j < classes; ++j) {
+      const double p = std::exp(static_cast<double>(logits.at(b, j) - max_logit)) / denom;
+      result.grad_logits.at(b, j) =
+          (static_cast<float>(p) - (j == label ? 1.0F : 0.0F)) * inv_batch;
+    }
+  }
+  result.loss = static_cast<float>(total_loss / batch);
+  return result;
+}
+
+}  // namespace ttfs::nn

@@ -1,0 +1,20 @@
+// Softmax cross-entropy loss with integer class labels.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace ttfs::nn {
+
+struct LossResult {
+  float loss = 0.0F;       // mean negative log-likelihood over the batch
+  Tensor grad_logits;      // d(loss)/d(logits), already divided by batch size
+  std::int64_t correct = 0;  // top-1 correct predictions in the batch
+};
+
+// logits: (batch, classes); labels: batch entries in [0, classes).
+LossResult softmax_cross_entropy(const Tensor& logits, const std::vector<std::int32_t>& labels);
+
+}  // namespace ttfs::nn

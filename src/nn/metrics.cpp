@@ -1,0 +1,29 @@
+#include "nn/metrics.h"
+
+#include "tensor/ops.h"
+#include "util/check.h"
+
+namespace ttfs::nn {
+
+double evaluate_accuracy_fn(const std::function<Tensor(const Tensor&)>& fn,
+                            const std::vector<Batch>& batches) {
+  std::int64_t correct = 0;
+  std::int64_t total = 0;
+  for (const Batch& batch : batches) {
+    const Tensor logits = fn(batch.images);
+    TTFS_CHECK(logits.rank() == 2 && logits.dim(0) == batch.images.dim(0));
+    for (std::int64_t b = 0; b < logits.dim(0); ++b) {
+      if (argmax_row(logits, b) == batch.labels[static_cast<std::size_t>(b)]) ++correct;
+    }
+    total += logits.dim(0);
+  }
+  TTFS_CHECK(total > 0);
+  return 100.0 * static_cast<double>(correct) / static_cast<double>(total);
+}
+
+double evaluate_accuracy(Model& model, const std::vector<Batch>& batches) {
+  return evaluate_accuracy_fn(
+      [&model](const Tensor& images) { return model.forward(images, /*train=*/false); }, batches);
+}
+
+}  // namespace ttfs::nn

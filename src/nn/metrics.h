@@ -1,0 +1,27 @@
+// Evaluation helpers shared by training, conversion and benches.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "nn/model.h"
+#include "tensor/tensor.h"
+
+namespace ttfs::nn {
+
+// A labelled batch of images.
+struct Batch {
+  Tensor images;                     // (batch, C, H, W)
+  std::vector<std::int32_t> labels;  // batch entries
+};
+
+// Runs `model` in eval mode over `batches`, returns top-1 accuracy in percent.
+double evaluate_accuracy(Model& model, const std::vector<Batch>& batches);
+
+// Same but with an arbitrary classifier function (used to score SNN
+// simulators through the identical harness): fn(images) -> logits.
+double evaluate_accuracy_fn(const std::function<Tensor(const Tensor&)>& fn,
+                            const std::vector<Batch>& batches);
+
+}  // namespace ttfs::nn

@@ -1,0 +1,61 @@
+#include "nn/model.h"
+
+#include <sstream>
+
+namespace ttfs::nn {
+
+Tensor Model::forward(const Tensor& x, bool train) {
+  TTFS_CHECK_MSG(!layers_.empty(), "empty model");
+  Tensor cur = x;
+  for (auto& layer : layers_) cur = layer->forward(cur, train);
+  return cur;
+}
+
+void Model::backward(const Tensor& grad_logits) {
+  Tensor grad = grad_logits;
+  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) grad = (*it)->backward(grad);
+}
+
+std::vector<Param*> Model::params() {
+  std::vector<Param*> out;
+  for (auto& layer : layers_) {
+    for (Param* p : layer->params()) out.push_back(p);
+  }
+  return out;
+}
+
+void Model::zero_grad() {
+  for (Param* p : params()) p->zero_grad();
+}
+
+std::vector<ActivationLayer*> Model::activation_sites() {
+  std::vector<ActivationLayer*> out;
+  for (auto& layer : layers_) {
+    if (auto* act = dynamic_cast<ActivationLayer*>(layer.get())) out.push_back(act);
+  }
+  return out;
+}
+
+std::vector<Tensor*> Model::state_tensors() {
+  std::vector<Tensor*> out;
+  for (auto& layer : layers_) {
+    for (Tensor* t : layer->state_tensors()) out.push_back(t);
+  }
+  return out;
+}
+
+std::string Model::summary() const {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    os << i << ": " << layers_[i]->name() << '\n';
+  }
+  return os.str();
+}
+
+std::int64_t Model::param_count() {
+  std::int64_t n = 0;
+  for (Param* p : params()) n += p->value.numel();
+  return n;
+}
+
+}  // namespace ttfs::nn

@@ -1,0 +1,70 @@
+// Sequential model container.
+//
+// Owns a stack of layers, runs forward/backward through them and exposes the
+// parameter list for the optimizer. Also provides typed access to layers and
+// to activation sites, which the CAT trainer mutates across training stages.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "nn/activation.h"
+#include "nn/layer.h"
+
+namespace ttfs::nn {
+
+class Model {
+ public:
+  Model() = default;
+  Model(Model&&) = default;
+  Model& operator=(Model&&) = default;
+  Model(const Model&) = delete;
+  Model& operator=(const Model&) = delete;
+
+  // Constructs a layer in place and returns a reference to it.
+  template <typename T, typename... Args>
+  T& add(Args&&... args) {
+    auto layer = std::make_unique<T>(std::forward<Args>(args)...);
+    T& ref = *layer;
+    layers_.push_back(std::move(layer));
+    return ref;
+  }
+
+  Tensor forward(const Tensor& x, bool train);
+
+  // Propagates grad_logits back through every layer; parameter gradients
+  // accumulate into Param::grad.
+  void backward(const Tensor& grad_logits);
+
+  std::vector<Param*> params();
+  void zero_grad();
+
+  std::size_t size() const { return layers_.size(); }
+  Layer& layer(std::size_t i) { return *layers_.at(i); }
+  const Layer& layer(std::size_t i) const { return *layers_.at(i); }
+
+  // dynamic_cast accessor; returns nullptr when the layer is a different type.
+  template <typename T>
+  T* layer_as(std::size_t i) {
+    return dynamic_cast<T*>(layers_.at(i).get());
+  }
+
+  // All ActivationLayer sites in network order.
+  std::vector<ActivationLayer*> activation_sites();
+
+  // Persistent tensors across all layers, for serialization.
+  std::vector<Tensor*> state_tensors();
+
+  // One line per layer, for logs and docs.
+  std::string summary() const;
+
+  // Total trainable parameter count.
+  std::int64_t param_count();
+
+ private:
+  std::vector<std::unique_ptr<Layer>> layers_;
+};
+
+}  // namespace ttfs::nn

@@ -1,0 +1,23 @@
+// Trainable parameter: value + accumulated gradient.
+#pragma once
+
+#include <string>
+
+#include "tensor/tensor.h"
+
+namespace ttfs::nn {
+
+struct Param {
+  std::string name;
+  Tensor value;
+  Tensor grad;
+
+  Param() = default;
+  Param(std::string n, Tensor v) : name{std::move(n)}, value{std::move(v)} {
+    grad = Tensor{value.shape()};
+  }
+
+  void zero_grad() { grad.fill(0.0F); }
+};
+
+}  // namespace ttfs::nn

@@ -1,0 +1,64 @@
+#include "nn/pool.h"
+
+#include <limits>
+
+#include "util/thread_pool.h"
+
+namespace ttfs::nn {
+
+MaxPool2d::MaxPool2d(std::int64_t kernel, std::int64_t stride) : kernel_{kernel}, stride_{stride} {
+  TTFS_CHECK(kernel > 0 && stride > 0);
+}
+
+Tensor MaxPool2d::forward(const Tensor& x, bool train) {
+  TTFS_CHECK(x.rank() == 4);
+  const std::int64_t batch = x.dim(0), ch = x.dim(1), h = x.dim(2), w = x.dim(3);
+  const std::int64_t oh = (h - kernel_) / stride_ + 1;
+  const std::int64_t ow = (w - kernel_) / stride_ + 1;
+  TTFS_CHECK_MSG(oh > 0 && ow > 0, "maxpool degenerate for input " << x.shape_str());
+
+  Tensor y{{batch, ch, oh, ow}};
+  if (train) {
+    in_shape_ = x.shape();
+    argmax_.assign(static_cast<std::size_t>(y.numel()), 0);
+  }
+
+  parallel_for(0, batch * ch, [&](std::int64_t lo, std::int64_t hi) {
+    for (std::int64_t nc = lo; nc < hi; ++nc) {
+      const float* plane = x.data() + nc * h * w;
+      float* out = y.data() + nc * oh * ow;
+      for (std::int64_t oy = 0; oy < oh; ++oy) {
+        for (std::int64_t ox = 0; ox < ow; ++ox) {
+          float best = -std::numeric_limits<float>::infinity();
+          std::int64_t best_idx = 0;
+          for (std::int64_t ky = 0; ky < kernel_; ++ky) {
+            for (std::int64_t kx = 0; kx < kernel_; ++kx) {
+              const std::int64_t iy = oy * stride_ + ky;
+              const std::int64_t ix = ox * stride_ + kx;
+              const std::int64_t idx = iy * w + ix;
+              if (plane[idx] > best) {
+                best = plane[idx];
+                best_idx = idx;
+              }
+            }
+          }
+          out[oy * ow + ox] = best;
+          if (train) argmax_[static_cast<std::size_t>(nc * oh * ow + oy * ow + ox)] =
+              nc * h * w + best_idx;
+        }
+      }
+    }
+  });
+  return y;
+}
+
+Tensor MaxPool2d::backward(const Tensor& grad_out) {
+  TTFS_CHECK_MSG(!in_shape_.empty(), "backward before forward(train)");
+  Tensor gx{in_shape_};
+  for (std::int64_t i = 0; i < grad_out.numel(); ++i) {
+    gx[argmax_[static_cast<std::size_t>(i)]] += grad_out[i];
+  }
+  return gx;
+}
+
+}  // namespace ttfs::nn

@@ -1,0 +1,31 @@
+// Max pooling (NCHW). Max pooling is the pooling the paper's VGG uses; in the
+// TTFS spike domain it maps exactly onto earliest-spike-wins (snn/ layers).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "nn/layer.h"
+
+namespace ttfs::nn {
+
+class MaxPool2d final : public Layer {
+ public:
+  MaxPool2d(std::int64_t kernel, std::int64_t stride);
+
+  Tensor forward(const Tensor& x, bool train) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::string name() const override {
+    return "maxpool" + std::to_string(kernel_) + "s" + std::to_string(stride_);
+  }
+
+  std::int64_t kernel() const { return kernel_; }
+  std::int64_t stride() const { return stride_; }
+
+ private:
+  std::int64_t kernel_, stride_;
+  std::vector<std::int64_t> argmax_;  // flat input index per output element
+  std::vector<std::int64_t> in_shape_;
+};
+
+}  // namespace ttfs::nn

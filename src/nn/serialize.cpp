@@ -1,0 +1,80 @@
+#include "nn/serialize.h"
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+
+#include "util/check.h"
+
+namespace ttfs::nn {
+namespace {
+
+constexpr std::uint32_t kMagic = 0x54544653;  // "TTFS"
+constexpr std::uint32_t kVersion = 1;
+
+template <typename T>
+void write_pod(std::ofstream& os, const T& v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+
+template <typename T>
+T read_pod(std::ifstream& is) {
+  T v{};
+  is.read(reinterpret_cast<char*>(&v), sizeof(T));
+  TTFS_CHECK_MSG(is.good(), "truncated checkpoint");
+  return v;
+}
+
+}  // namespace
+
+void save_model(Model& model, const std::string& path) {
+  const std::filesystem::path p{path};
+  if (p.has_parent_path()) std::filesystem::create_directories(p.parent_path());
+  std::ofstream os{p, std::ios::binary};
+  TTFS_CHECK_MSG(os.good(), "cannot open " << path);
+
+  const auto tensors = model.state_tensors();
+  write_pod(os, kMagic);
+  write_pod(os, kVersion);
+  write_pod(os, static_cast<std::uint64_t>(tensors.size()));
+  for (const Tensor* t : tensors) {
+    write_pod(os, static_cast<std::uint32_t>(t->rank()));
+    for (const auto d : t->shape()) write_pod(os, static_cast<std::int64_t>(d));
+    os.write(reinterpret_cast<const char*>(t->data()),
+             static_cast<std::streamsize>(t->numel() * sizeof(float)));
+  }
+  TTFS_CHECK_MSG(os.good(), "write failed for " << path);
+}
+
+void load_model(Model& model, const std::string& path) {
+  std::ifstream is{path, std::ios::binary};
+  TTFS_CHECK_MSG(is.good(), "cannot open " << path);
+  TTFS_CHECK_MSG(read_pod<std::uint32_t>(is) == kMagic, "bad magic in " << path);
+  TTFS_CHECK_MSG(read_pod<std::uint32_t>(is) == kVersion, "unsupported version in " << path);
+
+  const auto tensors = model.state_tensors();
+  const auto count = read_pod<std::uint64_t>(is);
+  TTFS_CHECK_MSG(count == tensors.size(),
+                 "checkpoint has " << count << " tensors, model has " << tensors.size());
+  for (Tensor* t : tensors) {
+    const auto rank = read_pod<std::uint32_t>(is);
+    TTFS_CHECK_MSG(rank == t->rank(), "rank mismatch in " << path);
+    for (std::size_t a = 0; a < rank; ++a) {
+      const auto d = read_pod<std::int64_t>(is);
+      TTFS_CHECK_MSG(d == t->shape()[a], "shape mismatch in " << path);
+    }
+    is.read(reinterpret_cast<char*>(t->data()),
+            static_cast<std::streamsize>(t->numel() * sizeof(float)));
+    TTFS_CHECK_MSG(is.good(), "truncated checkpoint " << path);
+  }
+}
+
+bool is_checkpoint(const std::string& path) {
+  std::ifstream is{path, std::ios::binary};
+  if (!is.good()) return false;
+  std::uint32_t magic = 0;
+  is.read(reinterpret_cast<char*>(&magic), sizeof(magic));
+  return is.good() && magic == kMagic;
+}
+
+}  // namespace ttfs::nn

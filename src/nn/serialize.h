@@ -1,0 +1,24 @@
+// Binary model checkpointing.
+//
+// The format stores every persistent tensor (parameters and BN buffers) in
+// layer order. load() requires a structurally identical model (same tensor
+// count and shapes), which catches architecture mismatches early.
+#pragma once
+
+#include <string>
+
+#include "nn/model.h"
+
+namespace ttfs::nn {
+
+// Writes all state tensors of `model` to `path` (parent dirs created).
+void save_model(Model& model, const std::string& path);
+
+// Restores state tensors saved by save_model into an already-built model.
+// Throws std::invalid_argument on shape or count mismatch.
+void load_model(Model& model, const std::string& path);
+
+// True when `path` exists and carries the checkpoint magic.
+bool is_checkpoint(const std::string& path);
+
+}  // namespace ttfs::nn

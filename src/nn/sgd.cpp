@@ -1,0 +1,30 @@
+#include "nn/sgd.h"
+
+#include <cmath>
+
+namespace ttfs::nn {
+
+void Sgd::step(const std::vector<Param*>& params) {
+  for (Param* p : params) {
+    auto [it, inserted] = velocity_.try_emplace(p, Tensor{p->value.shape()});
+    Tensor& v = it->second;
+    const float wd = config_.weight_decay;
+    const float mom = config_.momentum;
+    const float lr = config_.lr;
+    for (std::int64_t i = 0; i < p->value.numel(); ++i) {
+      const float g = p->grad[i] + wd * p->value[i];
+      v[i] = mom * v[i] + g;
+      p->value[i] -= lr * v[i];
+    }
+  }
+}
+
+float MultiStepLr::lr_at(int epoch) const {
+  float lr = base_lr_;
+  for (const int m : milestones_) {
+    if (epoch >= m) lr *= gamma_;
+  }
+  return lr;
+}
+
+}  // namespace ttfs::nn

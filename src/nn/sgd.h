@@ -1,0 +1,51 @@
+// SGD with momentum and decoupled-from-loss L2 weight decay, plus the
+// multi-step learning-rate schedule the paper trains with (Sec. 3.1: LR 0.1
+// divided by 10 at fixed epochs).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "nn/param.h"
+
+namespace ttfs::nn {
+
+struct SgdConfig {
+  float lr = 0.1F;
+  float momentum = 0.9F;
+  float weight_decay = 5e-4F;
+};
+
+class Sgd {
+ public:
+  explicit Sgd(SgdConfig config) : config_{config} {}
+
+  // v = momentum*v + (grad + wd*w); w -= lr*v. Velocity buffers are keyed by
+  // parameter address and created lazily.
+  void step(const std::vector<Param*>& params);
+
+  void set_lr(float lr) { config_.lr = lr; }
+  float lr() const { return config_.lr; }
+  const SgdConfig& config() const { return config_; }
+
+ private:
+  SgdConfig config_;
+  std::unordered_map<const Param*, Tensor> velocity_;
+};
+
+// Piecewise-constant LR schedule: lr(epoch) = base / 10^(#milestones passed).
+class MultiStepLr {
+ public:
+  MultiStepLr(float base_lr, std::vector<int> milestones, float gamma = 0.1F)
+      : base_lr_{base_lr}, milestones_{std::move(milestones)}, gamma_{gamma} {}
+
+  float lr_at(int epoch) const;
+
+ private:
+  float base_lr_;
+  std::vector<int> milestones_;
+  float gamma_;
+};
+
+}  // namespace ttfs::nn

@@ -1,0 +1,83 @@
+#include "nn/vgg.h"
+
+#include <memory>
+
+#include "nn/batchnorm.h"
+#include "nn/conv2d.h"
+#include "nn/flatten.h"
+#include "nn/linear.h"
+#include "nn/pool.h"
+
+namespace ttfs::nn {
+
+VggSpec vgg16_spec(int classes) {
+  VggSpec s;
+  s.name = "vgg16";
+  s.conv_plan = {64, 64, kPool, 128, 128, kPool, 256, 256, 256, kPool,
+                 512, 512, 512, kPool, 512, 512, 512, kPool};
+  s.fc_hidden = {512, 512};
+  s.classes = classes;
+  return s;
+}
+
+VggSpec vgg_mini_spec(int classes) {
+  VggSpec s;
+  s.name = "vgg-mini";
+  s.conv_plan = {16, 16, kPool, 32, 32, kPool, 64, 64, kPool};
+  s.fc_hidden = {128};
+  s.classes = classes;
+  return s;
+}
+
+VggSpec vgg_small_spec(int classes) {
+  VggSpec s;
+  s.name = "vgg-small";
+  s.conv_plan = {12, 12, kPool, 24, 24, kPool, 48, kPool};
+  s.fc_hidden = {96};
+  s.classes = classes;
+  return s;
+}
+
+VggSpec vgg_micro_spec(int classes) {
+  VggSpec s;
+  s.name = "vgg-micro";
+  s.conv_plan = {8, kPool, 16, kPool};
+  s.fc_hidden = {32};
+  s.classes = classes;
+  return s;
+}
+
+Model build_vgg(const VggSpec& spec, std::int64_t in_ch, std::int64_t image, Rng& rng) {
+  TTFS_CHECK(in_ch > 0 && image > 0 && spec.classes > 1);
+  Model m;
+  m.add<ActivationLayer>(std::make_shared<IdentityFn>(), ActSite::kInput);
+
+  std::int64_t ch = in_ch;
+  std::int64_t hw = image;
+  for (const int entry : spec.conv_plan) {
+    if (entry == kPool) {
+      TTFS_CHECK_MSG(hw >= 2, "pool plan collapses " << spec.name << " below 1x1");
+      m.add<MaxPool2d>(2, 2);
+      hw /= 2;
+      continue;
+    }
+    TTFS_CHECK(entry > 0);
+    m.add<Conv2d>(ch, entry, 3, 1, 1, /*bias=*/!spec.batch_norm, rng);
+    if (spec.batch_norm) m.add<BatchNorm2d>(entry);
+    m.add<ActivationLayer>(std::make_shared<ReluFn>(), ActSite::kHidden);
+    ch = entry;
+  }
+
+  m.add<Flatten>();
+  std::int64_t features = ch * hw * hw;
+  for (const int width : spec.fc_hidden) {
+    TTFS_CHECK(width > 0);
+    m.add<Linear>(features, width, /*bias=*/true, rng);
+    m.add<ActivationLayer>(std::make_shared<ReluFn>(), ActSite::kHidden);
+    features = width;
+  }
+  m.add<Linear>(features, spec.classes, /*bias=*/true, rng);
+  return m;
+}
+
+}  // namespace ttfs::nn

@@ -1,0 +1,52 @@
+// VGG-style network builders.
+//
+// The paper trains VGG-16 (Sec. 3.1). vgg16_spec() reproduces that topology
+// for the hardware workload statistics; vgg_mini_spec() is a CPU-trainable
+// network with the same structural pattern (conv/conv/pool stacks + BN + FC
+// head) used by the accuracy experiments at quick scale.
+//
+// Every conv/linear (except the classifier) is followed by BatchNorm (convs)
+// and an ActivationLayer initialized to ReLU; an Identity activation site is
+// placed in front of the first layer so CAT mode II can enable input TTFS
+// encoding (paper: "phi_TTFS is appended to the input of the first hidden
+// layer ... to simulate input image being presented using spikes").
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "nn/model.h"
+#include "util/rng.h"
+
+namespace ttfs::nn {
+
+// Conv plan entry: channel count, or kPool for a 2x2/stride-2 max pool.
+constexpr int kPool = -1;
+
+struct VggSpec {
+  std::string name;
+  std::vector<int> conv_plan;  // e.g. {64, 64, kPool, 128, ...}
+  std::vector<int> fc_hidden;  // hidden FC widths (classifier appended last)
+  int classes = 10;
+  bool batch_norm = true;
+};
+
+// Canonical VGG-16 (13 conv + 2 hidden FC + classifier).
+VggSpec vgg16_spec(int classes);
+
+// CPU-scale VGG pattern: 6 convs + 1 hidden FC + classifier.
+VggSpec vgg_mini_spec(int classes);
+
+// Slimmer bench-scale variant (5 convs, narrow channels) — the default for
+// quick-scale accuracy experiments on a laptop CPU.
+VggSpec vgg_small_spec(int classes);
+
+// Even smaller — for unit/integration tests.
+VggSpec vgg_micro_spec(int classes);
+
+// Builds the model for (in_ch, image, image) inputs. The first layer is an
+// Identity ActivationLayer (site kInput); hidden activations are ReLU (site
+// kHidden). Throws if the pool plan collapses the spatial size below 1.
+Model build_vgg(const VggSpec& spec, std::int64_t in_ch, std::int64_t image, Rng& rng);
+
+}  // namespace ttfs::nn

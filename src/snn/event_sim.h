@@ -1,0 +1,55 @@
+// Timestep- and spike-order-accurate SNN simulator.
+//
+// Unlike SnnNetwork::forward (which exploits the algebraic equivalence
+// phi_TTFS = decode . fire to run on GEMMs), this simulator processes every
+// spike as a discrete event the way the processor does:
+//   * integration phase — input spikes arrive sorted by timestep (the input
+//     generator's minfind unit) and are scatter-accumulated into membrane
+//     voltages one synaptic operation at a time;
+//   * fire phase — for each timestep the dynamic threshold is compared
+//     against all membranes and ready neurons are serialized through a
+//     priority encoder, one spike per cycle (Sec. 4's spike encoder).
+// Its spike maps must match SnnNetwork::trace() exactly (tested); its cycle
+// and op counts feed the hardware model.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "snn/network.h"
+#include "tensor/tensor.h"
+
+namespace ttfs::snn {
+
+// One emitted spike. Emission order within a fire phase is (step ascending,
+// neuron index ascending) — the priority-encoder order.
+struct Spike {
+  std::int32_t neuron = 0;
+  std::int32_t step = 0;
+};
+
+struct LayerEventTrace {
+  std::vector<Spike> spikes;          // emission order
+  std::int64_t neuron_count = 0;
+  std::int64_t integration_ops = 0;   // synaptic accumulations performed
+  std::int64_t encoder_cycles = 0;    // threshold steps + serialized spikes
+};
+
+struct EventTrace {
+  std::vector<LayerEventTrace> layers;  // index 0 = input encoding
+  Tensor logits;                        // (1, classes)
+
+  std::int64_t total_spikes() const;
+  std::int64_t total_integration_ops() const;
+};
+
+// Runs one image (C, H, W) through `net` event by event.
+EventTrace run_event_sim(const SnnNetwork& net, const Tensor& image);
+
+// The fire-phase / spike-encoder primitive (Sec. 4): encodes a vector of
+// membrane voltages into priority-ordered spikes and counts encoder cycles
+// (one per scanned timestep plus one per serialized spike). Shared by the
+// event simulator and the hardware spike-encoder model.
+LayerEventTrace fire_phase(const Base2Kernel& kernel, const std::vector<double>& vmem);
+
+}  // namespace ttfs::snn

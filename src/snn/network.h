@@ -1,0 +1,106 @@
+// TTFS spiking network (inference).
+//
+// Executes the converted SNN with the paper's two-phase discipline: every
+// weighted layer integrates the previous layer's spikes over a T-step window,
+// then encodes its membrane voltages into (at most) one spike per neuron
+// during its own fire phase. Layers advance window by window (Fig. 1), so
+// end-to-end latency is (1 input-encoding window + one window per weighted
+// layer) * T timesteps — e.g. 17*T = 408 for VGG-16 at T = 24, matching the
+// paper's Table 2.
+//
+// Two execution paths exist:
+//  * forward()/trace() here — the fast layer-sequential path: spikes are
+//    decoded to their kernel levels and the integration is done with the same
+//    GEMM kernels as the ANN. Bit-identical to the event path by construction.
+//  * event_sim.h — a timestep- and spike-order-accurate simulator used to
+//    validate this path and to drive the hardware model.
+#pragma once
+
+#include <cstdint>
+#include <variant>
+#include <vector>
+
+#include "snn/kernel.h"
+#include "tensor/tensor.h"
+
+namespace ttfs::snn {
+
+// Fire steps for every neuron of one layer, flattened in NCHW order.
+// step == kNoSpike means the neuron stayed silent for the whole window.
+struct SpikeMap {
+  std::vector<std::int64_t> shape;  // (C, H, W) or (features)
+  std::vector<int> steps;
+
+  std::int64_t neuron_count() const { return static_cast<std::int64_t>(steps.size()); }
+  std::int64_t spike_count() const;
+};
+
+struct SnnConv {
+  Tensor weight;  // (Cout, Cin, k, k)
+  Tensor bias;    // (Cout), may be empty
+  std::int64_t stride = 1;
+  std::int64_t pad = 1;
+};
+
+struct SnnFc {
+  Tensor weight;  // (out, in)
+  Tensor bias;    // (out), may be empty
+};
+
+struct SnnPool {
+  std::int64_t kernel = 2;
+  std::int64_t stride = 2;
+};
+
+using SnnLayer = std::variant<SnnConv, SnnFc, SnnPool>;
+
+// Aggregate activity statistics of a forward pass (summed over the batch).
+struct SnnRunStats {
+  std::vector<std::int64_t> spikes_per_layer;   // index 0 = input encoding
+  std::vector<std::int64_t> neurons_per_layer;  // same indexing
+  std::int64_t images = 0;
+
+  double avg_firing_rate() const;  // spikes / neurons across all layers
+};
+
+class SnnNetwork {
+ public:
+  explicit SnnNetwork(Base2Kernel kernel) : kernel_{kernel} {}
+  SnnNetwork(Base2Kernel kernel, std::vector<SnnLayer> layers)
+      : kernel_{kernel}, layers_{std::move(layers)} {}
+
+  void add_conv(Tensor weight, Tensor bias, std::int64_t stride, std::int64_t pad);
+  void add_fc(Tensor weight, Tensor bias);
+  void add_pool(std::int64_t kernel, std::int64_t stride);
+
+  // Classifies a batch (N, C, H, W) -> logits (N, classes). The final weighted
+  // layer does not fire; its membrane voltages are the logits (paper Sec. 3.1:
+  // no activation on the output layer). Pass `stats` to collect spike counts.
+  Tensor forward(const Tensor& images, SnnRunStats* stats = nullptr) const;
+
+  // Runs one image (C, H, W) and returns the SpikeMap of every fire phase:
+  // index 0 is the encoded input, then one entry per spiking layer (pools act
+  // in the spike domain and produce their own map; the output layer emits
+  // none). Used by the event simulator and the hardware model.
+  std::vector<SpikeMap> trace(const Tensor& image) const;
+
+  // Pipeline latency in timesteps: (1 + number of weighted layers) * T.
+  int latency_timesteps() const;
+
+  const Base2Kernel& kernel() const { return kernel_; }
+  const std::vector<SnnLayer>& layers() const { return layers_; }
+  std::vector<SnnLayer>& mutable_layers() { return layers_; }
+  std::size_t weighted_layer_count() const;
+
+  // Encodes raw values into a SpikeMap (the input generator's job).
+  SpikeMap encode(const Tensor& values) const;
+  // Decodes a SpikeMap back to kernel-level values with the given shape
+  // prefixed by a batch dim of 1.
+  Tensor decode(const SpikeMap& map) const;
+
+ private:
+  Base2Kernel kernel_;
+  std::vector<SnnLayer> layers_;
+};
+
+}  // namespace ttfs::snn

@@ -1,0 +1,145 @@
+#include "snn/t2fsnn.h"
+
+#include <cmath>
+
+#include "nn/functional.h"
+#include "util/check.h"
+#include "util/logging.h"
+
+namespace ttfs::snn {
+namespace {
+
+Tensor quantize_with(const BaseEKernel& kernel, const Tensor& membrane) {
+  Tensor out{membrane.shape()};
+  for (std::int64_t i = 0; i < membrane.numel(); ++i) {
+    out[i] = static_cast<float>(kernel.quantize(membrane[i]));
+  }
+  return out;
+}
+
+}  // namespace
+
+double coding_error(const BaseEKernel& kernel, const Tensor& values) {
+  double se = 0.0;
+  std::int64_t count = 0;
+  for (std::int64_t i = 0; i < values.numel(); ++i) {
+    const double v = values[i];
+    if (v <= 0.0) continue;
+    const double err = kernel.quantize(v) - v;
+    se += err * err;
+    ++count;
+  }
+  return count == 0 ? 0.0 : se / static_cast<double>(count);
+}
+
+T2fsnnNetwork::T2fsnnNetwork(T2fsnnConfig config, std::vector<SnnLayer> layers)
+    : config_{config}, layers_{std::move(layers)} {
+  TTFS_CHECK(config.window > 0 && config.tau > 0.0);
+  const std::size_t weighted = weighted_layer_count();
+  TTFS_CHECK_MSG(weighted >= 1, "empty T2FSNN");
+  // Input encoder + one fire kernel per hidden weighted layer.
+  for (std::size_t i = 0; i + 1 < weighted + 1; ++i) {
+    kernels_.emplace_back(config.window, config.tau, config.td, config.theta0);
+  }
+}
+
+std::size_t T2fsnnNetwork::weighted_layer_count() const {
+  std::size_t n = 0;
+  for (const auto& l : layers_) {
+    if (!std::holds_alternative<SnnPool>(l)) ++n;
+  }
+  return n;
+}
+
+int T2fsnnNetwork::latency_timesteps() const {
+  const int base = (1 + static_cast<int>(weighted_layer_count())) * config_.window;
+  return config_.early_firing ? base / 2 : base;
+}
+
+Tensor T2fsnnNetwork::forward(const Tensor& images) const {
+  TTFS_CHECK(images.rank() == 4);
+  const std::size_t weighted = weighted_layer_count();
+
+  Tensor x = quantize_with(kernels_[0], images);
+  std::size_t weighted_seen = 0;
+  for (const auto& layer : layers_) {
+    if (const auto* conv = std::get_if<SnnConv>(&layer)) {
+      Tensor membrane = nn::conv2d_forward(x, conv->weight, &conv->bias, conv->stride, conv->pad);
+      ++weighted_seen;
+      if (weighted_seen == weighted) return membrane;
+      x = quantize_with(kernels_[weighted_seen], membrane);
+    } else if (const auto* fc = std::get_if<SnnFc>(&layer)) {
+      if (x.rank() != 2) x = x.reshaped({x.dim(0), x.numel() / x.dim(0)});
+      Tensor membrane = nn::linear_forward(x, fc->weight, &fc->bias);
+      ++weighted_seen;
+      if (weighted_seen == weighted) return membrane;
+      x = quantize_with(kernels_[weighted_seen], membrane);
+    } else {
+      const auto& pool = std::get<SnnPool>(layer);
+      x = nn::maxpool_forward(x, pool.kernel, pool.stride);
+    }
+  }
+  TTFS_CHECK_MSG(false, "T2FSNN has no output layer");
+  return {};
+}
+
+Tensor T2fsnnNetwork::membranes_for_kernel(const Tensor& images, std::size_t stop_at) const {
+  if (stop_at == 0) return images;
+  Tensor x = quantize_with(kernels_[0], images);
+  std::size_t weighted_seen = 0;
+  for (const auto& layer : layers_) {
+    if (const auto* conv = std::get_if<SnnConv>(&layer)) {
+      Tensor membrane = nn::conv2d_forward(x, conv->weight, &conv->bias, conv->stride, conv->pad);
+      ++weighted_seen;
+      if (weighted_seen == stop_at) return membrane;
+      x = quantize_with(kernels_[weighted_seen], membrane);
+    } else if (const auto* fc = std::get_if<SnnFc>(&layer)) {
+      if (x.rank() != 2) x = x.reshaped({x.dim(0), x.numel() / x.dim(0)});
+      Tensor membrane = nn::linear_forward(x, fc->weight, &fc->bias);
+      ++weighted_seen;
+      if (weighted_seen == stop_at) return membrane;
+      x = quantize_with(kernels_[weighted_seen], membrane);
+    } else {
+      const auto& pool = std::get<SnnPool>(layer);
+      x = nn::maxpool_forward(x, pool.kernel, pool.stride);
+    }
+  }
+  TTFS_CHECK_MSG(false, "stop_at " << stop_at << " beyond network depth");
+  return {};
+}
+
+void T2fsnnNetwork::tune_kernels(const Tensor& calibration_images, int rounds) {
+  TTFS_CHECK(calibration_images.rank() == 4 && rounds >= 1);
+  const int window = config_.window;
+
+  for (int round = 0; round < rounds; ++round) {
+    for (std::size_t ki = 0; ki < kernels_.size(); ++ki) {
+      // Membranes this kernel encodes, under the *current* upstream kernels.
+      const Tensor membranes = membranes_for_kernel(calibration_images, ki);
+
+      BaseEKernel best = kernels_[ki];
+      double best_err = coding_error(best, membranes);
+      // Coordinate grid around the current operating point: td spreads the
+      // threshold start, tau the decay speed.
+      const int td_hi = window / 3;
+      const int td_step = std::max(1, window / 24);
+      for (int td = 0; td <= td_hi; td += td_step) {
+        for (int ti = 0; ti < 8; ++ti) {
+          const double tau =
+              window / 16.0 + (window / 2.0 - window / 16.0) * ti / 7.0;
+          const BaseEKernel cand{window, tau, static_cast<double>(td), config_.theta0};
+          const double err = coding_error(cand, membranes);
+          if (err < best_err) {
+            best_err = err;
+            best = cand;
+          }
+        }
+      }
+      kernels_[ki] = best;
+      TTFS_LOG_DEBUG("t2fsnn kernel " << ki << " round " << round << ": td=" << best.td()
+                                      << " tau=" << best.tau() << " mse=" << best_err);
+    }
+  }
+}
+
+}  // namespace ttfs::snn

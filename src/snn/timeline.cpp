@@ -1,0 +1,241 @@
+#include "snn/timeline.h"
+
+#include <variant>
+
+#include "util/check.h"
+
+namespace ttfs::snn {
+namespace {
+
+struct Shape3 {
+  std::int64_t c = 0, h = 0, w = 0;
+  std::int64_t numel() const { return c * h * w; }
+};
+
+// A pass-through pool between two fire stages; fires each output cell once,
+// on the timestep its first input spike arrives (earliest-spike-wins).
+struct PoolNode {
+  int stage_id = 0;
+  Shape3 in_shape, out_shape;
+  std::int64_t kernel = 2, stride = 2;
+  std::vector<char> fired;
+};
+
+// The weighted layer a chain delivers into (membranes of the next stage or
+// the output readout).
+struct Delivery {
+  const SnnConv* conv = nullptr;  // exactly one of conv/fc is set
+  const SnnFc* fc = nullptr;
+  Shape3 in_shape, out_shape;
+  int target_stage = -1;  // stage index whose membranes are integrated; -1 = output readout
+};
+
+// One firing stage: input encoding or a hidden weighted layer.
+struct FireStage {
+  int stage_id = 0;
+  int window = 0;  // fires during [window*T, (window+1)*T)
+  std::vector<float> vmem;
+  std::vector<char> fired;
+  std::vector<PoolNode> pools;  // applied in order to every emitted spike
+  Delivery delivery;
+};
+
+// Scatter one spike value into conv output membranes (same arithmetic as the
+// event simulator so all three engines agree bit-for-bit in float).
+void deliver_conv(const SnnConv& conv, const Shape3& in, const Shape3& out, std::int64_t neuron,
+                  float value, std::vector<float>& vmem) {
+  const std::int64_t kh = conv.weight.dim(2);
+  const std::int64_t kw = conv.weight.dim(3);
+  const std::int64_t ci = neuron / (in.h * in.w);
+  const std::int64_t yi = (neuron / in.w) % in.h;
+  const std::int64_t xi = neuron % in.w;
+  for (std::int64_t ky = 0; ky < kh; ++ky) {
+    const std::int64_t ynum = yi + conv.pad - ky;
+    if (ynum < 0 || ynum % conv.stride != 0) continue;
+    const std::int64_t yo = ynum / conv.stride;
+    if (yo >= out.h) continue;
+    for (std::int64_t kx = 0; kx < kw; ++kx) {
+      const std::int64_t xnum = xi + conv.pad - kx;
+      if (xnum < 0 || xnum % conv.stride != 0) continue;
+      const std::int64_t xo = xnum / conv.stride;
+      if (xo >= out.w) continue;
+      for (std::int64_t co = 0; co < out.c; ++co) {
+        vmem[static_cast<std::size_t>((co * out.h + yo) * out.w + xo)] +=
+            conv.weight.at(co, ci, ky, kx) * value;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+TimelineResult run_timeline(const SnnNetwork& net, const Tensor& image) {
+  TTFS_CHECK(image.rank() == 3);
+  const Base2Kernel& kernel = net.kernel();
+  const int window_len = kernel.window();
+  const std::size_t weighted = net.weighted_layer_count();
+
+  // --- build the stage graph ---
+  std::vector<FireStage> stages;
+  std::vector<float> output_membrane;
+  Shape3 output_shape;
+
+  FireStage input_stage;
+  input_stage.stage_id = 0;
+  input_stage.window = 0;
+  input_stage.vmem.assign(image.data(), image.data() + image.numel());
+  input_stage.fired.assign(static_cast<std::size_t>(image.numel()), 0);
+  stages.push_back(std::move(input_stage));
+
+  Shape3 cur{image.dim(0), image.dim(1), image.dim(2)};
+  int next_stage_id = 1;
+  int next_window = 1;
+  std::size_t weighted_seen = 0;
+
+  for (const auto& layer : net.layers()) {
+    if (const auto* pool = std::get_if<SnnPool>(&layer)) {
+      PoolNode node;
+      node.stage_id = next_stage_id++;
+      node.in_shape = cur;
+      node.kernel = pool->kernel;
+      node.stride = pool->stride;
+      node.out_shape = {cur.c, (cur.h - pool->kernel) / pool->stride + 1,
+                        (cur.w - pool->kernel) / pool->stride + 1};
+      node.fired.assign(static_cast<std::size_t>(node.out_shape.numel()), 0);
+      cur = node.out_shape;
+      stages.back().pools.push_back(std::move(node));
+      continue;
+    }
+
+    ++weighted_seen;
+    Shape3 out;
+    Delivery delivery;
+    delivery.in_shape = cur;
+    if (const auto* conv = std::get_if<SnnConv>(&layer)) {
+      const std::int64_t kh = conv->weight.dim(2);
+      out = {conv->weight.dim(0), (cur.h + 2 * conv->pad - kh) / conv->stride + 1,
+             (cur.w + 2 * conv->pad - conv->weight.dim(3)) / conv->stride + 1};
+      TTFS_CHECK(conv->weight.dim(1) == cur.c && out.h > 0 && out.w > 0);
+      delivery.conv = conv;
+    } else {
+      const auto* fc = std::get_if<SnnFc>(&layer);
+      TTFS_CHECK(fc->weight.dim(1) == cur.numel());
+      out = {fc->weight.dim(0), 1, 1};
+      delivery.fc = fc;
+    }
+    delivery.out_shape = out;
+
+    const bool is_output = weighted_seen == weighted;
+    if (is_output) {
+      output_shape = out;
+      output_membrane.assign(static_cast<std::size_t>(out.numel()), 0.0F);
+      if (delivery.conv != nullptr && !delivery.conv->bias.empty()) {
+        for (std::int64_t co = 0; co < out.c; ++co) {
+          for (std::int64_t i = 0; i < out.h * out.w; ++i) {
+            output_membrane[static_cast<std::size_t>(co * out.h * out.w + i)] =
+                delivery.conv->bias[co];
+          }
+        }
+      } else if (delivery.fc != nullptr && !delivery.fc->bias.empty()) {
+        for (std::int64_t j = 0; j < out.c; ++j) {
+          output_membrane[static_cast<std::size_t>(j)] = delivery.fc->bias[j];
+        }
+      }
+      delivery.target_stage = -1;
+      stages.back().delivery = delivery;
+      break;  // anything after the output layer is not reachable by spikes
+    }
+
+    FireStage stage;
+    stage.stage_id = next_stage_id++;
+    stage.window = next_window++;
+    stage.vmem.assign(static_cast<std::size_t>(out.numel()), 0.0F);
+    if (delivery.conv != nullptr && !delivery.conv->bias.empty()) {
+      for (std::int64_t co = 0; co < out.c; ++co) {
+        for (std::int64_t i = 0; i < out.h * out.w; ++i) {
+          stage.vmem[static_cast<std::size_t>(co * out.h * out.w + i)] = delivery.conv->bias[co];
+        }
+      }
+    } else if (delivery.fc != nullptr && !delivery.fc->bias.empty()) {
+      for (std::int64_t j = 0; j < out.c; ++j) {
+        stage.vmem[static_cast<std::size_t>(j)] = delivery.fc->bias[j];
+      }
+    }
+    stage.fired.assign(static_cast<std::size_t>(out.numel()), 0);
+
+    // The membranes this chain integrates into are the new stage's
+    // (referenced by index — the stages vector may still reallocate).
+    delivery.target_stage = static_cast<int>(stages.size());
+    stages[stages.size() - 1].delivery = delivery;
+    stages.push_back(std::move(stage));
+    cur = out;
+  }
+
+  TTFS_CHECK_MSG(!output_membrane.empty(), "network has no output layer");
+
+  // --- run the global clock ---
+  TimelineResult result;
+  result.total_timesteps = net.latency_timesteps();
+
+  // Delivers one spike from `stage` through its pools and weighted layer.
+  const auto propagate = [&](FireStage& stage, std::int64_t neuron, int global_step) {
+    std::int64_t idx = neuron;
+    for (PoolNode& pool : stage.pools) {
+      // A source pixel belongs to several pool windows only when stride <
+      // kernel; VGG pools are non-overlapping (stride == kernel), which the
+      // engine requires to keep earliest-spike forwarding exact.
+      TTFS_CHECK_MSG(pool.stride == pool.kernel, "timeline engine needs non-overlapping pools");
+      const std::int64_t c = idx / (pool.in_shape.h * pool.in_shape.w);
+      const std::int64_t y = (idx / pool.in_shape.w) % pool.in_shape.h;
+      const std::int64_t x = idx % pool.in_shape.w;
+      const std::int64_t py = y / pool.stride;
+      const std::int64_t px = x / pool.stride;
+      if (py >= pool.out_shape.h || px >= pool.out_shape.w) return;  // edge drop
+      const std::int64_t out_idx = (c * pool.out_shape.h + py) * pool.out_shape.w + px;
+      if (pool.fired[static_cast<std::size_t>(out_idx)] != 0) return;  // already forwarded
+      pool.fired[static_cast<std::size_t>(out_idx)] = 1;
+      result.events.push_back({pool.stage_id, static_cast<std::int32_t>(out_idx),
+                               static_cast<std::int32_t>(global_step)});
+      idx = out_idx;
+    }
+
+    const float value = static_cast<float>(kernel.level(global_step % window_len));
+    const Delivery& d = stage.delivery;
+    std::vector<float>& target =
+        d.target_stage < 0 ? output_membrane
+                           : stages[static_cast<std::size_t>(d.target_stage)].vmem;
+    Shape3 in_after_pools = stage.pools.empty() ? d.in_shape : stage.pools.back().out_shape;
+    if (d.conv != nullptr) {
+      deliver_conv(*d.conv, in_after_pools, d.out_shape, idx, value, target);
+    } else if (d.fc != nullptr) {
+      for (std::int64_t j = 0; j < d.out_shape.c; ++j) {
+        target[static_cast<std::size_t>(j)] += d.fc->weight.at(j, idx) * value;
+      }
+    }
+  };
+
+  for (int t = 0; t < result.total_timesteps; ++t) {
+    const int w = t / window_len;
+    const int step = t % window_len;
+    if (w >= static_cast<int>(stages.size())) break;  // only the output integrates now
+    FireStage& stage = stages[static_cast<std::size_t>(w)];
+    const double threshold = kernel.level(step);
+    for (std::int64_t n = 0; n < static_cast<std::int64_t>(stage.vmem.size()); ++n) {
+      if (stage.fired[static_cast<std::size_t>(n)] != 0) continue;
+      if (static_cast<double>(stage.vmem[static_cast<std::size_t>(n)]) >= threshold) {
+        stage.fired[static_cast<std::size_t>(n)] = 1;
+        result.events.push_back(
+            {stage.stage_id, static_cast<std::int32_t>(n), static_cast<std::int32_t>(t)});
+        propagate(stage, n, t);
+      }
+    }
+  }
+
+  result.logits = Tensor{{1, output_shape.numel()}};
+  for (std::int64_t i = 0; i < result.logits.numel(); ++i) {
+    result.logits[i] = output_membrane[static_cast<std::size_t>(i)];
+  }
+  return result;
+}
+
+}  // namespace ttfs::snn

@@ -1,0 +1,54 @@
+#include "tensor/im2col.h"
+
+namespace ttfs {
+
+void im2col(const ConvGeom& g, const float* image, float* cols) {
+  const std::int64_t oh = g.out_h();
+  const std::int64_t ow = g.out_w();
+  std::int64_t row = 0;
+  for (std::int64_t c = 0; c < g.in_ch; ++c) {
+    for (std::int64_t ky = 0; ky < g.kh; ++ky) {
+      for (std::int64_t kx = 0; kx < g.kw; ++kx, ++row) {
+        float* out = cols + row * oh * ow;
+        const float* plane = image + c * g.in_h * g.in_w;
+        for (std::int64_t y = 0; y < oh; ++y) {
+          const std::int64_t iy = y * g.stride + ky - g.pad;
+          if (iy < 0 || iy >= g.in_h) {
+            for (std::int64_t x = 0; x < ow; ++x) out[y * ow + x] = 0.0F;
+            continue;
+          }
+          const float* src = plane + iy * g.in_w;
+          for (std::int64_t x = 0; x < ow; ++x) {
+            const std::int64_t ix = x * g.stride + kx - g.pad;
+            out[y * ow + x] = (ix < 0 || ix >= g.in_w) ? 0.0F : src[ix];
+          }
+        }
+      }
+    }
+  }
+}
+
+void col2im(const ConvGeom& g, const float* cols, float* image) {
+  const std::int64_t oh = g.out_h();
+  const std::int64_t ow = g.out_w();
+  std::int64_t row = 0;
+  for (std::int64_t c = 0; c < g.in_ch; ++c) {
+    for (std::int64_t ky = 0; ky < g.kh; ++ky) {
+      for (std::int64_t kx = 0; kx < g.kw; ++kx, ++row) {
+        const float* src = cols + row * oh * ow;
+        float* plane = image + c * g.in_h * g.in_w;
+        for (std::int64_t y = 0; y < oh; ++y) {
+          const std::int64_t iy = y * g.stride + ky - g.pad;
+          if (iy < 0 || iy >= g.in_h) continue;
+          for (std::int64_t x = 0; x < ow; ++x) {
+            const std::int64_t ix = x * g.stride + kx - g.pad;
+            if (ix < 0 || ix >= g.in_w) continue;
+            plane[iy * g.in_w + ix] += src[y * ow + x];
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace ttfs

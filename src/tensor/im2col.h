@@ -1,0 +1,34 @@
+// im2col / col2im lowering for convolution.
+//
+// im2col unrolls every sliding conv window of an input image into a column so
+// convolution becomes a single GEMM: W(out_ch, in_ch*kh*kw) * cols = output.
+// col2im is the transpose scatter used in the backward pass.
+#pragma once
+
+#include <cstdint>
+
+namespace ttfs {
+
+struct ConvGeom {
+  std::int64_t in_ch = 0;
+  std::int64_t in_h = 0;
+  std::int64_t in_w = 0;
+  std::int64_t kh = 0;
+  std::int64_t kw = 0;
+  std::int64_t stride = 1;
+  std::int64_t pad = 0;
+
+  std::int64_t out_h() const { return (in_h + 2 * pad - kh) / stride + 1; }
+  std::int64_t out_w() const { return (in_w + 2 * pad - kw) / stride + 1; }
+  std::int64_t col_rows() const { return in_ch * kh * kw; }
+  std::int64_t col_cols() const { return out_h() * out_w(); }
+};
+
+// image (in_ch, in_h, in_w) -> cols (col_rows x col_cols), zero-padded.
+void im2col(const ConvGeom& g, const float* image, float* cols);
+
+// cols (col_rows x col_cols) -> accumulate into image (in_ch, in_h, in_w).
+// The caller zeroes `image` first; padding locations are dropped.
+void col2im(const ConvGeom& g, const float* cols, float* image);
+
+}  // namespace ttfs

@@ -1,0 +1,25 @@
+// Single-precision general matrix multiply.
+//
+// C[M,N] = alpha * op(A) * op(B) + beta * C, row-major, with optional
+// transposition of either operand. Blocked for cache locality and threaded
+// over row blocks via the global pool. This is the workhorse behind conv
+// (im2col) and linear layers in both directions.
+#pragma once
+
+#include <cstdint>
+
+namespace ttfs {
+
+// C = alpha * A(MxK) * B(KxN) + beta * C(MxN), all row-major contiguous.
+void sgemm(std::int64_t m, std::int64_t n, std::int64_t k, float alpha, const float* a,
+           const float* b, float beta, float* c);
+
+// C = alpha * A^T(MxK, stored KxM) * B(KxN) + beta * C.
+void sgemm_at(std::int64_t m, std::int64_t n, std::int64_t k, float alpha, const float* a,
+              const float* b, float beta, float* c);
+
+// C = alpha * A(MxK) * B^T(KxN, stored NxK) + beta * C.
+void sgemm_bt(std::int64_t m, std::int64_t n, std::int64_t k, float alpha, const float* a,
+              const float* b, float beta, float* c);
+
+}  // namespace ttfs

@@ -1,0 +1,52 @@
+// Lightweight runtime checking macros.
+//
+// TTFS_CHECK is always on (argument validation of public APIs); TTFS_DCHECK
+// compiles out in release builds (hot inner loops). Both throw
+// std::invalid_argument / std::logic_error so failures are testable and never
+// abort the host process.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace ttfs {
+
+namespace detail {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file, int line,
+                                      const std::string& msg) {
+  std::ostringstream os;
+  os << "check failed: " << expr << " at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw std::invalid_argument(os.str());
+}
+
+}  // namespace detail
+
+}  // namespace ttfs
+
+// Validates a condition on a public API boundary; throws std::invalid_argument.
+#define TTFS_CHECK(cond)                                                     \
+  do {                                                                       \
+    if (!(cond)) ::ttfs::detail::check_failed(#cond, __FILE__, __LINE__, ""); \
+  } while (0)
+
+// Same as TTFS_CHECK but with a streamed message: TTFS_CHECK_MSG(x > 0, "x=" << x).
+#define TTFS_CHECK_MSG(cond, msg_stream)                                       \
+  do {                                                                         \
+    if (!(cond)) {                                                             \
+      std::ostringstream ttfs_check_os_;                                       \
+      ttfs_check_os_ << msg_stream;                                            \
+      ::ttfs::detail::check_failed(#cond, __FILE__, __LINE__,                  \
+                                   ttfs_check_os_.str());                      \
+    }                                                                          \
+  } while (0)
+
+#ifdef NDEBUG
+#define TTFS_DCHECK(cond) \
+  do {                    \
+  } while (0)
+#else
+#define TTFS_DCHECK(cond) TTFS_CHECK(cond)
+#endif

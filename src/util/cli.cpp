@@ -1,0 +1,47 @@
+#include "util/cli.h"
+
+#include <cstdlib>
+
+namespace ttfs {
+
+CliArgs::CliArgs(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg{argv[i]};
+    if (arg.rfind("--", 0) != 0) continue;
+    arg = arg.substr(2);
+    const auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      kv_[arg.substr(0, eq)] = arg.substr(eq + 1);
+    } else if (i + 1 < argc && std::string{argv[i + 1]}.rfind("--", 0) != 0) {
+      kv_[arg] = argv[i + 1];
+      ++i;
+    } else {
+      kv_[arg] = "true";
+    }
+  }
+}
+
+bool CliArgs::has(const std::string& key) const { return kv_.count(key) != 0; }
+
+bool CliArgs::get_flag(const std::string& key) const {
+  const auto it = kv_.find(key);
+  if (it == kv_.end()) return false;
+  return it->second == "true" || it->second == "1";
+}
+
+std::string CliArgs::get_string(const std::string& key, const std::string& fallback) const {
+  const auto it = kv_.find(key);
+  return it == kv_.end() ? fallback : it->second;
+}
+
+int CliArgs::get_int(const std::string& key, int fallback) const {
+  const auto it = kv_.find(key);
+  return it == kv_.end() ? fallback : static_cast<int>(std::strtol(it->second.c_str(), nullptr, 10));
+}
+
+double CliArgs::get_double(const std::string& key, double fallback) const {
+  const auto it = kv_.find(key);
+  return it == kv_.end() ? fallback : std::strtod(it->second.c_str(), nullptr);
+}
+
+}  // namespace ttfs

@@ -1,0 +1,29 @@
+// Tiny command-line flag parser for example and bench binaries.
+//
+//   CliArgs args{argc, argv};
+//   const int epochs = args.get_int("epochs", 20);
+//   const bool full = args.get_flag("full");
+// Accepts --key=value, --key value and bare --flag forms.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+
+namespace ttfs {
+
+class CliArgs {
+ public:
+  CliArgs(int argc, const char* const* argv);
+
+  bool has(const std::string& key) const;
+  // Bare flags (no value) and "true"/"1" values are true.
+  bool get_flag(const std::string& key) const;
+  std::string get_string(const std::string& key, const std::string& fallback) const;
+  int get_int(const std::string& key, int fallback) const;
+  double get_double(const std::string& key, double fallback) const;
+
+ private:
+  std::unordered_map<std::string, std::string> kv_;
+};
+
+}  // namespace ttfs

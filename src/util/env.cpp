@@ -1,0 +1,19 @@
+#include "util/env.h"
+
+#include <cstdlib>
+#include <string>
+
+namespace ttfs {
+
+Scale run_scale() {
+  static const Scale scale = [] {
+    const char* env = std::getenv("TTFS_SCALE");
+    if (env != nullptr && std::string{env} == "full") return Scale::kFull;
+    return Scale::kQuick;
+  }();
+  return scale;
+}
+
+int scaled(int quick, int full) { return run_scale() == Scale::kFull ? full : quick; }
+
+}  // namespace ttfs

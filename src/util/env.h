@@ -1,0 +1,17 @@
+// Experiment scale control.
+//
+// Benches run at Quick scale by default so the full suite finishes in minutes
+// on a laptop; TTFS_SCALE=full selects paper-faithful (longer) settings.
+#pragma once
+
+namespace ttfs {
+
+enum class Scale { kQuick, kFull };
+
+// Reads TTFS_SCALE once per process ("full" → kFull, anything else → kQuick).
+Scale run_scale();
+
+// Scales an epoch/sample count: returns `quick` at Quick scale, `full` otherwise.
+int scaled(int quick, int full);
+
+}  // namespace ttfs

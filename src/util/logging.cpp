@@ -1,0 +1,53 @@
+#include "util/logging.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <mutex>
+
+namespace ttfs::log {
+namespace {
+
+Level initial_level() {
+  const char* env = std::getenv("TTFS_LOG_LEVEL");
+  if (env == nullptr) return Level::kInfo;
+  const std::string v{env};
+  if (v == "error") return Level::kError;
+  if (v == "warn") return Level::kWarn;
+  if (v == "debug") return Level::kDebug;
+  return Level::kInfo;
+}
+
+std::atomic<int>& level_storage() {
+  static std::atomic<int> storage{static_cast<int>(initial_level())};
+  return storage;
+}
+
+const char* tag(Level lvl) {
+  switch (lvl) {
+    case Level::kError:
+      return "E";
+    case Level::kWarn:
+      return "W";
+    case Level::kInfo:
+      return "I";
+    case Level::kDebug:
+      return "D";
+  }
+  return "?";
+}
+
+}  // namespace
+
+Level level() { return static_cast<Level>(level_storage().load(std::memory_order_relaxed)); }
+
+void set_level(Level lvl) {
+  level_storage().store(static_cast<int>(lvl), std::memory_order_relaxed);
+}
+
+void emit(Level lvl, const std::string& message) {
+  static std::mutex mu;
+  const std::lock_guard<std::mutex> lock{mu};
+  std::cerr << '[' << tag(lvl) << "] " << message << '\n';
+}
+
+}  // namespace ttfs::log

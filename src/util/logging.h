@@ -1,0 +1,42 @@
+// Minimal leveled logger for library and bench output.
+//
+// Usage:
+//   TTFS_LOG_INFO("trained " << n << " epochs");
+// Level is process-global and settable via set_log_level() or the
+// TTFS_LOG_LEVEL environment variable (error|warn|info|debug).
+#pragma once
+
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace ttfs::log {
+
+enum class Level : int { kError = 0, kWarn = 1, kInfo = 2, kDebug = 3 };
+
+// Returns the current process-wide log level (default Info, overridable by
+// the TTFS_LOG_LEVEL environment variable at first use).
+Level level();
+
+// Sets the process-wide log level.
+void set_level(Level level);
+
+// Emits one formatted line to stderr if `lvl` passes the current level.
+void emit(Level lvl, const std::string& message);
+
+}  // namespace ttfs::log
+
+#define TTFS_LOG_AT(lvl, msg_stream)                        \
+  do {                                                      \
+    if (static_cast<int>(lvl) <=                            \
+        static_cast<int>(::ttfs::log::level())) {           \
+      std::ostringstream ttfs_log_os_;                      \
+      ttfs_log_os_ << msg_stream;                           \
+      ::ttfs::log::emit(lvl, ttfs_log_os_.str());           \
+    }                                                       \
+  } while (0)
+
+#define TTFS_LOG_ERROR(msg) TTFS_LOG_AT(::ttfs::log::Level::kError, msg)
+#define TTFS_LOG_WARN(msg) TTFS_LOG_AT(::ttfs::log::Level::kWarn, msg)
+#define TTFS_LOG_INFO(msg) TTFS_LOG_AT(::ttfs::log::Level::kInfo, msg)
+#define TTFS_LOG_DEBUG(msg) TTFS_LOG_AT(::ttfs::log::Level::kDebug, msg)

@@ -1,0 +1,98 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "util/check.h"
+
+namespace ttfs {
+
+void Table::set_header(std::vector<std::string> header) {
+  TTFS_CHECK(rows_.empty());
+  header_ = std::move(header);
+}
+
+void Table::add_row(std::vector<std::string> row) {
+  TTFS_CHECK_MSG(row.size() == header_.size(),
+                 "row arity " << row.size() << " != header arity " << header_.size());
+  rows_.push_back(std::move(row));
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> width(header_.size(), 0);
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) width[c] = std::max(width[c], row[c].size());
+  }
+
+  const auto rule = [&] {
+    os << '+';
+    for (const auto w : width) os << std::string(w + 2, '-') << '+';
+    os << '\n';
+  };
+  const auto line = [&](const std::vector<std::string>& cells) {
+    os << '|';
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      os << ' ' << std::left << std::setw(static_cast<int>(width[c])) << cells[c] << " |";
+    }
+    os << '\n';
+  };
+
+  os << "== " << title_ << " ==\n";
+  rule();
+  line(header_);
+  rule();
+  for (const auto& row : rows_) line(row);
+  rule();
+}
+
+namespace {
+std::string csv_escape(const std::string& s) {
+  if (s.find_first_of(",\"\n") == std::string::npos) return s;
+  std::string out = "\"";
+  for (const char ch : s) {
+    if (ch == '"') out += "\"\"";
+    else out += ch;
+  }
+  out += '"';
+  return out;
+}
+}  // namespace
+
+void Table::write_csv(std::ostream& os) const {
+  const auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      if (c != 0) os << ',';
+      os << csv_escape(cells[c]);
+    }
+    os << '\n';
+  };
+  emit(header_);
+  for (const auto& row : rows_) emit(row);
+}
+
+void Table::save_csv(const std::string& path) const {
+  const std::filesystem::path p{path};
+  if (p.has_parent_path()) std::filesystem::create_directories(p.parent_path());
+  std::ofstream os{p};
+  TTFS_CHECK_MSG(os.good(), "cannot open " << path);
+  write_csv(os);
+}
+
+std::string Table::num(double v, int digits) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(digits) << v;
+  return os.str();
+}
+
+std::string Table::signed_num(double v, int digits) {
+  std::ostringstream os;
+  os << std::fixed << std::showpos << std::setprecision(digits) << v;
+  return os.str();
+}
+
+}  // namespace ttfs

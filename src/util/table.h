@@ -1,0 +1,47 @@
+// Console table and CSV rendering for experiment reports.
+//
+// Every bench binary prints its paper table/figure through this class so
+// output formatting is uniform and parseable. Cells are strings; numeric
+// helpers format with fixed precision.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace ttfs {
+
+class Table {
+ public:
+  explicit Table(std::string title) : title_{std::move(title)} {}
+
+  // Sets the header row. Must be called before add_row.
+  void set_header(std::vector<std::string> header);
+
+  // Appends a data row; must have the same arity as the header.
+  void add_row(std::vector<std::string> row);
+
+  // Renders an aligned ASCII table.
+  void print(std::ostream& os) const;
+
+  // Renders RFC-4180-ish CSV (quotes cells containing commas/quotes).
+  void write_csv(std::ostream& os) const;
+
+  // Writes the CSV rendering to `path`, creating parent dirs if needed.
+  void save_csv(const std::string& path) const;
+
+  const std::string& title() const { return title_; }
+  std::size_t rows() const { return rows_.size(); }
+
+  // Formats a double with `digits` fractional digits.
+  static std::string num(double v, int digits = 2);
+  // Formats as signed (leading '+' for positives), used for conversion losses.
+  static std::string signed_num(double v, int digits = 2);
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace ttfs

@@ -1,0 +1,111 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <exception>
+
+namespace ttfs {
+namespace {
+// True on pool worker threads; nested parallel_for calls run inline instead of
+// enqueuing (a blocked worker waiting on sub-tasks would deadlock the pool).
+thread_local bool t_in_worker = false;
+}  // namespace
+
+ThreadPool::ThreadPool(unsigned threads) {
+  workers_.reserve(threads);
+  for (unsigned i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard<std::mutex> lock{mu_};
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::worker_loop() {
+  t_in_worker = true;
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock{mu_};
+      cv_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
+      if (stop_ && tasks_.empty()) return;
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();
+  }
+}
+
+void ThreadPool::parallel_for(std::int64_t begin, std::int64_t end,
+                              const std::function<void(std::int64_t, std::int64_t)>& fn) {
+  if (begin >= end) return;
+  const std::int64_t n = end - begin;
+  const unsigned workers = size();
+  if (workers == 0 || n == 1 || t_in_worker) {
+    fn(begin, end);
+    return;
+  }
+
+  const std::int64_t chunks = std::min<std::int64_t>(n, static_cast<std::int64_t>(workers));
+  const std::int64_t chunk = (n + chunks - 1) / chunks;
+
+  std::atomic<std::int64_t> remaining{0};
+  std::exception_ptr first_error;
+  std::mutex error_mu;
+  std::mutex done_mu;
+  std::condition_variable done_cv;
+
+  for (std::int64_t c = 0; c < chunks; ++c) {
+    const std::int64_t lo = begin + c * chunk;
+    const std::int64_t hi = std::min(end, lo + chunk);
+    if (lo >= hi) break;
+    remaining.fetch_add(1, std::memory_order_relaxed);
+    {
+      const std::lock_guard<std::mutex> lock{mu_};
+      tasks_.emplace([&, lo, hi] {
+        try {
+          fn(lo, hi);
+        } catch (...) {
+          const std::lock_guard<std::mutex> elock{error_mu};
+          if (!first_error) first_error = std::current_exception();
+        }
+        if (remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+          const std::lock_guard<std::mutex> dlock{done_mu};
+          done_cv.notify_all();
+        }
+      });
+    }
+  }
+  cv_.notify_all();
+
+  std::unique_lock<std::mutex> lock{done_mu};
+  done_cv.wait(lock, [&] { return remaining.load(std::memory_order_acquire) == 0; });
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+ThreadPool& global_pool() {
+  static ThreadPool pool{[] {
+    unsigned n = std::thread::hardware_concurrency();
+    if (n == 0) n = 2;
+    if (const char* env = std::getenv("TTFS_THREADS")) {
+      const long v = std::strtol(env, nullptr, 10);
+      if (v >= 0 && v < 256) n = static_cast<unsigned>(v);
+    }
+    return n;
+  }()};
+  return pool;
+}
+
+void parallel_for(std::int64_t begin, std::int64_t end,
+                  const std::function<void(std::int64_t, std::int64_t)>& fn) {
+  global_pool().parallel_for(begin, end, fn);
+}
+
+}  // namespace ttfs

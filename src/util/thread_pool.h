@@ -1,0 +1,54 @@
+// Fixed-size thread pool with a parallel_for helper.
+//
+// Used to parallelize GEMM row blocks and per-sample forward/backward work.
+// The pool is created once per process via global_pool() (size = hardware
+// concurrency, overridable by TTFS_THREADS) but can also be instantiated
+// locally for tests.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace ttfs {
+
+class ThreadPool {
+ public:
+  // Creates `threads` workers; threads == 0 means "run inline on the caller".
+  explicit ThreadPool(unsigned threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  unsigned size() const { return static_cast<unsigned>(workers_.size()); }
+
+  // Splits [begin, end) into roughly equal chunks and runs
+  // fn(chunk_begin, chunk_end) across the pool, blocking until all complete.
+  // Exceptions from fn propagate to the caller (first one wins).
+  void parallel_for(std::int64_t begin, std::int64_t end,
+                    const std::function<void(std::int64_t, std::int64_t)>& fn);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+// Process-wide pool sized from std::thread::hardware_concurrency(), capped by
+// the TTFS_THREADS environment variable when set.
+ThreadPool& global_pool();
+
+// Convenience wrapper over global_pool().parallel_for.
+void parallel_for(std::int64_t begin, std::int64_t end,
+                  const std::function<void(std::int64_t, std::int64_t)>& fn);
+
+}  // namespace ttfs

@@ -1,0 +1,140 @@
+#include <gtest/gtest.h>
+
+#include "cat/activations.h"
+#include "cat/schedule.h"
+#include "nn/vgg.h"
+#include "util/rng.h"
+
+namespace ttfs::cat {
+namespace {
+
+TEST(ClipFn, MatchesEq12) {
+  const ClipFn clip{1.0F};
+  EXPECT_FLOAT_EQ(clip.forward(-0.5F), 0.0F);
+  EXPECT_FLOAT_EQ(clip.forward(0.0F), 0.0F);
+  EXPECT_FLOAT_EQ(clip.forward(0.4F), 0.4F);
+  EXPECT_FLOAT_EQ(clip.forward(1.0F), 1.0F);
+  EXPECT_FLOAT_EQ(clip.forward(2.7F), 1.0F);
+}
+
+TEST(ClipFn, Gradient) {
+  const ClipFn clip{1.0F};
+  EXPECT_FLOAT_EQ(clip.grad(-0.1F), 0.0F);
+  EXPECT_FLOAT_EQ(clip.grad(0.5F), 1.0F);
+  EXPECT_FLOAT_EQ(clip.grad(1.5F), 0.0F);
+}
+
+TEST(ClipFn, Theta0Scaling) {
+  const ClipFn clip{2.0F};
+  EXPECT_FLOAT_EQ(clip.forward(1.5F), 1.5F);
+  EXPECT_FLOAT_EQ(clip.forward(3.0F), 2.0F);
+}
+
+TEST(TtfsFn, ExactlySimulatesKernel) {
+  const snn::Base2Kernel kernel{24, 4.0, 1.0};
+  const TtfsFn fn{kernel};
+  Rng rng{50};
+  for (int i = 0; i < 5000; ++i) {
+    const float x = rng.uniform_f(-0.3F, 1.5F);
+    EXPECT_FLOAT_EQ(fn.forward(x), static_cast<float>(kernel.quantize(x))) << "x=" << x;
+  }
+}
+
+TEST(TtfsFn, ValuesAreGridLevelsOnly) {
+  const snn::Base2Kernel kernel{12, 2.0, 1.0};
+  const TtfsFn fn{kernel};
+  Rng rng{51};
+  for (int i = 0; i < 2000; ++i) {
+    const float y = fn.forward(rng.uniform_f(0.0F, 1.2F));
+    if (y == 0.0F) continue;
+    const int step = kernel.fire_step(y);
+    ASSERT_NE(step, snn::kNoSpike);
+    EXPECT_FLOAT_EQ(y, static_cast<float>(kernel.level(step)));
+  }
+}
+
+TEST(TtfsFn, SteGradientWindow) {
+  const snn::Base2Kernel kernel{24, 4.0, 1.0};
+  const TtfsFn fn{kernel};
+  EXPECT_FLOAT_EQ(fn.grad(0.5F), 1.0F);
+  EXPECT_FLOAT_EQ(fn.grad(static_cast<float>(kernel.min_level())), 1.0F);
+  EXPECT_FLOAT_EQ(fn.grad(1.0F), 0.0F);   // saturated
+  EXPECT_FLOAT_EQ(fn.grad(-0.2F), 0.0F);  // below range
+  EXPECT_FLOAT_EQ(fn.grad(1e-7F), 0.0F);  // underflow region
+}
+
+// Fig. 2(b): representation error of each activation vs. the SNN coding.
+TEST(ActivationError, TtfsZeroClipPositiveReluUnbounded) {
+  const snn::Base2Kernel kernel{24, 4.0, 1.0};
+  const TtfsFn ttfs{kernel};
+  const ClipFn clip{1.0F};
+  const nn::ReluFn relu;
+  Rng rng{52};
+  double ttfs_err = 0.0, clip_err = 0.0, relu_err = 0.0;
+  for (int i = 0; i < 4000; ++i) {
+    const float x = rng.uniform_f(0.0F, 1.2F);
+    const double snn_value = kernel.quantize(x);  // what the SNN reconstructs
+    ttfs_err += std::fabs(ttfs.forward(x) - snn_value);
+    clip_err += std::fabs(clip.forward(x) - snn_value);
+    relu_err += std::fabs(relu.forward(x) - snn_value);
+  }
+  EXPECT_DOUBLE_EQ(ttfs_err, 0.0);  // the paper's central claim
+  EXPECT_GT(clip_err, 0.0);
+  EXPECT_GT(relu_err, clip_err);  // ReLU also misses the saturation
+}
+
+TEST(Schedule, ModeNames) {
+  EXPECT_EQ(to_string(CatMode::kClipOnly), "I");
+  EXPECT_EQ(to_string(CatMode::kClipInputTtfs), "I+II");
+  EXPECT_EQ(to_string(CatMode::kFull), "I+II+III");
+}
+
+class SchedulePhases : public ::testing::TestWithParam<CatMode> {};
+
+TEST_P(SchedulePhases, ActivationProgression) {
+  const CatMode mode = GetParam();
+  Rng rng{53};
+  nn::Model m = nn::build_vgg(nn::vgg_micro_spec(4), 1, 8, rng);
+  const snn::Base2Kernel kernel{24, 4.0, 1.0};
+  CatSchedule sched;
+  sched.mode = mode;
+  sched.relu_epochs = 2;
+  sched.ttfs_epoch = 8;
+
+  const auto hidden_name = [&](int epoch) {
+    apply_schedule(m, sched, kernel, epoch);
+    return m.activation_sites().back()->fn().name();
+  };
+  const auto input_name = [&](int epoch) {
+    apply_schedule(m, sched, kernel, epoch);
+    return m.activation_sites().front()->fn().name();
+  };
+
+  // Hidden: relu -> clip -> (ttfs only in kFull).
+  EXPECT_EQ(hidden_name(0), "relu");
+  EXPECT_EQ(hidden_name(2), "clip");
+  EXPECT_EQ(hidden_name(7), "clip");
+  EXPECT_EQ(hidden_name(8), mode == CatMode::kFull ? "ttfs" : "clip");
+  EXPECT_EQ(hidden_name(10), mode == CatMode::kFull ? "ttfs" : "clip");
+
+  // Input: ttfs from the very first epoch except in mode I.
+  EXPECT_EQ(input_name(0), mode == CatMode::kClipOnly ? "identity" : "ttfs");
+}
+
+INSTANTIATE_TEST_SUITE_P(Modes, SchedulePhases,
+                         ::testing::Values(CatMode::kClipOnly, CatMode::kClipInputTtfs,
+                                           CatMode::kFull));
+
+TEST(Schedule, IdempotentApplication) {
+  Rng rng{54};
+  nn::Model m = nn::build_vgg(nn::vgg_micro_spec(4), 1, 8, rng);
+  const snn::Base2Kernel kernel{24, 4.0, 1.0};
+  CatSchedule sched;
+  apply_schedule(m, sched, kernel, 5);
+  const std::string first = m.activation_sites().back()->fn().name();
+  apply_schedule(m, sched, kernel, 5);
+  EXPECT_EQ(m.activation_sites().back()->fn().name(), first);
+}
+
+}  // namespace
+}  // namespace ttfs::cat

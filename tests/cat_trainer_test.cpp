@@ -1,0 +1,178 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "cat/trainer.h"
+#include "data/augment.h"
+#include "data/synthetic.h"
+#include "nn/vgg.h"
+#include "util/rng.h"
+
+namespace ttfs::cat {
+namespace {
+
+TEST(TrainConfig, PaperFullMatchesSec31) {
+  const TrainConfig c = TrainConfig::paper_full();
+  EXPECT_EQ(c.epochs, 200);
+  EXPECT_FLOAT_EQ(c.base_lr, 0.1F);
+  EXPECT_EQ(c.lr_milestones, (std::vector<int>{80, 120, 160}));
+  EXPECT_EQ(c.schedule.relu_epochs, 10);
+  EXPECT_EQ(c.schedule.ttfs_epoch, 170);
+  EXPECT_FLOAT_EQ(c.momentum, 0.9F);
+  EXPECT_FLOAT_EQ(c.weight_decay, 5e-4F);
+}
+
+TEST(TrainConfig, CompressedPreservesProportions) {
+  const TrainConfig c = TrainConfig::compressed(40);
+  EXPECT_EQ(c.epochs, 40);
+  EXPECT_EQ(c.lr_milestones, (std::vector<int>{16, 24, 32}));  // 40/60/80%
+  EXPECT_EQ(c.schedule.relu_epochs, 2);                         // 5%
+  EXPECT_EQ(c.schedule.ttfs_epoch, 34);                         // 85%
+  EXPECT_THROW(TrainConfig::compressed(2), std::invalid_argument);
+}
+
+TEST(TrainConfig, KernelReflectsParams) {
+  TrainConfig c;
+  c.window = 48;
+  c.tau = 8.0;
+  const snn::Base2Kernel k = c.kernel();
+  EXPECT_EQ(k.window(), 48);
+  EXPECT_DOUBLE_EQ(k.tau(), 8.0);
+}
+
+TEST(Trainer, RecordsHistoryAndSchedule) {
+  data::SyntheticSpec spec = data::syn_cifar10_spec();
+  spec.classes = 3;
+  spec.image = 8;
+  spec.noise = 0.05;
+  const auto train = data::generate_synthetic(spec, 120, 0);
+  const auto test = data::generate_synthetic(spec, 60, 1);
+
+  TrainConfig cfg = TrainConfig::compressed(6);
+  cfg.verbose = false;
+  cfg.schedule.relu_epochs = 2;
+  cfg.schedule.ttfs_epoch = 4;
+  Rng rng{1};
+  nn::Model model = nn::build_vgg(nn::vgg_micro_spec(3), 3, 8, rng);
+  const TrainHistory h = train_cat(model, train, test, cfg);
+
+  ASSERT_EQ(h.epochs.size(), 6U);
+  EXPECT_EQ(h.epochs[0].hidden_activation, "relu");
+  EXPECT_EQ(h.epochs[2].hidden_activation, "clip");
+  EXPECT_EQ(h.epochs[5].hidden_activation, "ttfs");
+  EXPECT_FALSE(h.diverged);
+  EXPECT_GE(h.final_test_acc, 100.0 / 3.0);  // at least chance-ish after 6 epochs
+  for (const auto& e : h.epochs) {
+    EXPECT_GE(e.train_acc, 0.0);
+    EXPECT_LE(e.train_acc, 100.0);
+  }
+  // LR follows the milestone schedule.
+  EXPECT_GT(h.epochs.front().lr, h.epochs.back().lr);
+}
+
+TEST(Trainer, AugmentFlagRuns) {
+  data::SyntheticSpec spec = data::syn_cifar10_spec();
+  spec.classes = 3;
+  spec.image = 8;
+  const auto train = data::generate_synthetic(spec, 60, 0);
+  const auto test = data::generate_synthetic(spec, 30, 1);
+  TrainConfig cfg = TrainConfig::compressed(5);
+  cfg.verbose = false;
+  cfg.augment = true;
+  Rng rng{2};
+  nn::Model model = nn::build_vgg(nn::vgg_micro_spec(3), 3, 8, rng);
+  const TrainHistory h = train_cat(model, train, test, cfg);
+  EXPECT_EQ(h.epochs.size(), 5U);
+}
+
+TEST(Trainer, WeightQatKeepsMastersFullPrecision) {
+  // After QAT training the model must hold fp32 master weights (quantization
+  // is applied per forward pass, not destructively).
+  data::SyntheticSpec spec = data::syn_cifar10_spec();
+  spec.classes = 3;
+  spec.image = 8;
+  const auto train = data::generate_synthetic(spec, 90, 0);
+  const auto test = data::generate_synthetic(spec, 30, 1);
+  TrainConfig cfg = TrainConfig::compressed(5);
+  cfg.verbose = false;
+  cfg.weight_qat = true;
+  cfg.qat_bits = 4;
+  cfg.qat_z = 1;
+  Rng rng{6};
+  nn::Model model = nn::build_vgg(nn::vgg_micro_spec(3), 3, 8, rng);
+  (void)train_cat(model, train, test, cfg);
+
+  // If weights had been destructively quantized, every weight magnitude would
+  // sit exactly on the sqrt(2) grid; fp32 masters after SGD steps do not.
+  int off_grid = 0;
+  for (nn::Param* p : model.params()) {
+    if (p->value.rank() < 2) continue;
+    for (std::int64_t i = 0; i < p->value.numel(); ++i) {
+      const double w = std::fabs(static_cast<double>(p->value[i]));
+      if (w < 1e-9) continue;
+      const double grid_pos = std::log2(w) / 0.5;
+      if (std::fabs(grid_pos - std::round(grid_pos)) > 1e-4) ++off_grid;
+    }
+  }
+  EXPECT_GT(off_grid, 0) << "masters look quantized in place";
+}
+
+TEST(Augment, FlipAndShiftPreserveValueSet) {
+  Rng rng{3};
+  nn::Batch batch;
+  batch.images = Tensor{{1, 1, 4, 4}};
+  for (std::int64_t i = 0; i < 16; ++i) batch.images[i] = static_cast<float>(i);
+  batch.labels = {0};
+
+  data::AugmentConfig cfg;
+  cfg.horizontal_flip = true;
+  cfg.max_shift = 0;
+  // With shift disabled, a flip (if applied) must be a permutation.
+  nn::Batch copy = batch;
+  for (int attempt = 0; attempt < 16; ++attempt) {
+    nn::Batch b = copy;
+    data::augment_batch(b, cfg, rng);
+    std::multiset<float> before(copy.images.vec().begin(), copy.images.vec().end());
+    std::multiset<float> after(b.images.vec().begin(), b.images.vec().end());
+    EXPECT_EQ(before, after);
+  }
+}
+
+TEST(Augment, ShiftPadsWithZeros) {
+  Rng rng{4};
+  nn::Batch batch;
+  batch.images = Tensor::full({1, 1, 6, 6}, 1.0F);
+  batch.labels = {0};
+  data::AugmentConfig cfg;
+  cfg.horizontal_flip = false;
+  cfg.max_shift = 2;
+  bool saw_zero = false;
+  for (int attempt = 0; attempt < 20 && !saw_zero; ++attempt) {
+    nn::Batch b;
+    b.images = Tensor::full({1, 1, 6, 6}, 1.0F);
+    b.labels = {0};
+    data::augment_batch(b, cfg, rng);
+    for (std::int64_t i = 0; i < b.images.numel(); ++i) {
+      if (b.images[i] == 0.0F) saw_zero = true;
+    }
+  }
+  EXPECT_TRUE(saw_zero) << "shift never produced zero padding in 20 draws";
+}
+
+TEST(Augment, NoOpConfigLeavesImagesUntouched) {
+  Rng rng{5};
+  nn::Batch batch;
+  batch.images = Tensor{{2, 1, 3, 3}};
+  for (std::int64_t i = 0; i < batch.images.numel(); ++i) batch.images[i] = static_cast<float>(i);
+  batch.labels = {0, 1};
+  const Tensor before = batch.images;
+  data::AugmentConfig cfg;
+  cfg.horizontal_flip = false;
+  cfg.max_shift = 0;
+  data::augment_batch(batch, cfg, rng);
+  EXPECT_TRUE(batch.images.allclose(before, 0.0F));
+}
+
+}  // namespace
+}  // namespace ttfs::cat

@@ -1,0 +1,89 @@
+// Parameterized end-to-end property: for ANY kernel configuration (T, tau,
+// theta0) and a randomly initialized model, the converted SNN's predictions
+// equal the ANN's predictions under phi_TTFS evaluation — the CAT guarantee
+// the whole paper rests on, checked across the configuration space rather
+// than at the paper's operating points only.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "cat/activations.h"
+#include "cat/conversion.h"
+#include "cat/schedule.h"
+#include "data/synthetic.h"
+#include "nn/vgg.h"
+#include "tensor/ops.h"
+#include "util/rng.h"
+
+namespace ttfs::cat {
+namespace {
+
+class ConversionSweep
+    : public ::testing::TestWithParam<std::tuple<int, double, double>> {};  // T, tau, theta0
+
+TEST_P(ConversionSweep, SnnPredictionsMatchTtfsAnn) {
+  const auto [window, tau, theta0] = GetParam();
+  const snn::Base2Kernel kernel{window, tau, theta0};
+
+  data::SyntheticSpec spec = data::syn_cifar10_spec();
+  spec.classes = 4;
+  spec.image = 10;
+  const auto data = data::generate_synthetic(spec, 32, 0);
+
+  // Random (untrained) model — the equivalence is structural, independent of
+  // training. Put it into the full-CAT end state so every activation site
+  // runs phi_TTFS (BN stays at its random-ish running stats).
+  Rng rng{static_cast<std::uint64_t>(window * 131 + static_cast<int>(tau * 8))};
+  nn::Model model = nn::build_vgg(nn::vgg_micro_spec(4), 3, 10, rng);
+  // Prime BN running stats so eval-mode forward is deterministic and sane.
+  for (int i = 0; i < 3; ++i) (void)model.forward(data.images, /*train=*/true);
+
+  CatSchedule schedule;
+  schedule.mode = CatMode::kFull;
+  schedule.ttfs_epoch = 0;
+  schedule.relu_epochs = 0;
+  schedule.theta0 = theta0;
+  apply_schedule(model, schedule, kernel, /*epoch=*/1);
+
+  const Tensor ann_logits = model.forward(data.images, /*train=*/false);
+  snn::SnnNetwork net = convert_to_snn(model, kernel, data);
+  const Tensor snn_logits = net.forward(data.images);
+
+  ASSERT_EQ(ann_logits.shape(), snn_logits.shape());
+  int agree = 0;
+  for (std::int64_t b = 0; b < ann_logits.dim(0); ++b) {
+    if (argmax_row(ann_logits, b) == argmax_row(snn_logits, b)) ++agree;
+  }
+  // Logits differ by the output-layer normalization scale only; argmax must
+  // match on every sample.
+  EXPECT_EQ(agree, static_cast<int>(ann_logits.dim(0)))
+      << "T=" << window << " tau=" << tau << " theta0=" << theta0;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Kernels, ConversionSweep,
+    ::testing::Values(std::make_tuple(12, 2.0, 1.0), std::make_tuple(24, 4.0, 1.0),
+                      std::make_tuple(48, 8.0, 1.0), std::make_tuple(16, 4.0, 1.0),
+                      std::make_tuple(32, 8.0, 2.0), std::make_tuple(8, 1.0, 1.0),
+                      std::make_tuple(64, 16.0, 0.5)));
+
+class LatencySweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(LatencySweep, LatencyFormulaHolds) {
+  const int window = GetParam();
+  Rng rng{5};
+  nn::Model model = nn::build_vgg(nn::vgg_micro_spec(3), 1, 8, rng);
+  data::SyntheticSpec spec = data::syn_cifar10_spec();
+  spec.classes = 3;
+  spec.image = 8;
+  spec.channels = 1;
+  const auto data = data::generate_synthetic(spec, 8, 0);
+  snn::SnnNetwork net = convert_to_snn(model, snn::Base2Kernel{window, 4.0, 1.0}, data);
+  // vgg_micro: 2 conv + 2 fc = 4 weighted layers -> (1 + 4) * T.
+  EXPECT_EQ(net.latency_timesteps(), 5 * window);
+}
+
+INSTANTIATE_TEST_SUITE_P(Windows, LatencySweep, ::testing::Values(8, 12, 24, 48, 80));
+
+}  // namespace
+}  // namespace ttfs::cat

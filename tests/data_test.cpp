@@ -1,0 +1,181 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <set>
+
+#include "data/cifar.h"
+#include "data/dataset.h"
+#include "data/synthetic.h"
+
+namespace ttfs::data {
+namespace {
+
+TEST(Synthetic, ShapesAndRanges) {
+  const auto spec = syn_cifar10_spec();
+  const LabeledData d = generate_synthetic(spec, 50, 0);
+  EXPECT_EQ(d.size(), 50);
+  EXPECT_EQ(d.classes, 10);
+  EXPECT_EQ(d.images.shape(), (std::vector<std::int64_t>{50, 3, 16, 16}));
+  for (std::int64_t i = 0; i < d.images.numel(); ++i) {
+    EXPECT_GE(d.images[i], 0.0F);
+    EXPECT_LE(d.images[i], 1.0F);
+  }
+}
+
+TEST(Synthetic, Deterministic) {
+  const auto spec = syn_cifar100_spec();
+  const LabeledData a = generate_synthetic(spec, 20, 0);
+  const LabeledData b = generate_synthetic(spec, 20, 0);
+  EXPECT_TRUE(a.images.allclose(b.images, 0.0F));
+  EXPECT_EQ(a.labels, b.labels);
+}
+
+TEST(Synthetic, SplitsDiffer) {
+  const auto spec = syn_cifar10_spec();
+  const LabeledData train = generate_synthetic(spec, 20, 0);
+  const LabeledData test = generate_synthetic(spec, 20, 1);
+  EXPECT_FALSE(train.images.allclose(test.images, 1e-6F));
+}
+
+TEST(Synthetic, AllClassesPresent) {
+  const auto spec = syn_tiny_spec();
+  const LabeledData d = generate_synthetic(spec, spec.classes * 3, 0);
+  std::set<std::int32_t> seen{d.labels.begin(), d.labels.end()};
+  EXPECT_EQ(static_cast<int>(seen.size()), spec.classes);
+}
+
+TEST(Synthetic, ClassesAreDistinguishable) {
+  // Mean images of different classes should differ substantially — otherwise
+  // the datasets could not drive accuracy experiments.
+  auto spec = syn_cifar10_spec();
+  spec.noise = 0.0;
+  const LabeledData d = generate_synthetic(spec, 40, 0);
+  const std::int64_t pix = d.images.numel() / d.size();
+  std::vector<std::vector<double>> mean(10, std::vector<double>(static_cast<std::size_t>(pix), 0.0));
+  std::vector<int> count(10, 0);
+  for (std::int64_t i = 0; i < d.size(); ++i) {
+    const int cls = d.labels[static_cast<std::size_t>(i)];
+    ++count[static_cast<std::size_t>(cls)];
+    for (std::int64_t p = 0; p < pix; ++p) {
+      mean[static_cast<std::size_t>(cls)][static_cast<std::size_t>(p)] += d.images[i * pix + p];
+    }
+  }
+  double min_dist = 1e9;
+  for (int a = 0; a < 10; ++a) {
+    for (int b = a + 1; b < 10; ++b) {
+      double dist = 0.0;
+      for (std::int64_t p = 0; p < pix; ++p) {
+        const double da = mean[static_cast<std::size_t>(a)][static_cast<std::size_t>(p)] / count[static_cast<std::size_t>(a)];
+        const double db = mean[static_cast<std::size_t>(b)][static_cast<std::size_t>(p)] / count[static_cast<std::size_t>(b)];
+        dist += (da - db) * (da - db);
+      }
+      min_dist = std::min(min_dist, dist);
+    }
+  }
+  EXPECT_GT(min_dist, 0.5);
+}
+
+TEST(Synthetic, SpecPresetsEscalate) {
+  EXPECT_LT(syn_cifar10_spec().classes, syn_cifar100_spec().classes);
+  EXPECT_LT(syn_cifar10_spec().noise, syn_cifar100_spec().noise);
+  EXPECT_LT(syn_cifar100_spec().noise, syn_tiny_spec().noise);
+  EXPECT_LT(syn_cifar100_spec().image, syn_tiny_spec().image);
+}
+
+TEST(Synthetic, RejectsBadSpec) {
+  SyntheticSpec spec = syn_cifar10_spec();
+  spec.classes = 1;
+  EXPECT_THROW(generate_synthetic(spec, 10, 0), std::invalid_argument);
+}
+
+TEST(Batching, SizesAndRemainder) {
+  LabeledData d;
+  d.classes = 2;
+  d.images = Tensor{{10, 1, 2, 2}};
+  d.labels.assign(10, 0);
+  const auto batches = make_batches(d, 4, nullptr);
+  ASSERT_EQ(batches.size(), 3U);
+  EXPECT_EQ(batches[0].images.dim(0), 4);
+  EXPECT_EQ(batches[2].images.dim(0), 2);
+}
+
+TEST(Batching, ShuffleKeepsPairing) {
+  LabeledData d;
+  d.classes = 10;
+  d.images = Tensor{{10, 1, 1, 1}};
+  d.labels.resize(10);
+  for (int i = 0; i < 10; ++i) {
+    d.images[i] = static_cast<float>(i);
+    d.labels[static_cast<std::size_t>(i)] = i;  // label == pixel value
+  }
+  Rng rng{80};
+  const auto batches = make_batches(d, 3, &rng);
+  for (const auto& b : batches) {
+    for (std::int64_t i = 0; i < b.images.dim(0); ++i) {
+      EXPECT_EQ(static_cast<int>(b.images[i]), b.labels[static_cast<std::size_t>(i)]);
+    }
+  }
+}
+
+TEST(Batching, Head) {
+  LabeledData d;
+  d.classes = 2;
+  d.images = Tensor{{6, 1, 1, 1}};
+  for (int i = 0; i < 6; ++i) d.images[i] = static_cast<float>(i);
+  d.labels = {0, 1, 0, 1, 0, 1};
+  const LabeledData h = head(d, 3);
+  EXPECT_EQ(h.size(), 3);
+  EXPECT_EQ(h.images[2], 2.0F);
+  EXPECT_EQ(h.labels.size(), 3U);
+  // Clamp to available size.
+  EXPECT_EQ(head(d, 100).size(), 6);
+}
+
+TEST(Cifar, MissingDirectoryReturnsNullopt) {
+  EXPECT_FALSE(load_cifar10("/nonexistent-dir", true).has_value());
+  EXPECT_FALSE(load_cifar100("/nonexistent-dir", false).has_value());
+}
+
+TEST(Cifar, ParsesCifar100FineLabels) {
+  // CIFAR-100 records carry (coarse, fine) label bytes; the loader must keep
+  // the fine one.
+  const std::string dir = ::testing::TempDir() + "/cifar100_fake";
+  std::filesystem::create_directories(dir);
+  std::ofstream os{dir + "/test.bin", std::ios::binary};
+  unsigned char coarse = 3, fine = 42;
+  os.write(reinterpret_cast<char*>(&coarse), 1);
+  os.write(reinterpret_cast<char*>(&fine), 1);
+  std::vector<unsigned char> img(3072, 128);
+  os.write(reinterpret_cast<char*>(img.data()), 3072);
+  os.close();
+
+  const auto d = load_cifar100(dir, false);
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(d->labels[0], 42);
+  EXPECT_EQ(d->classes, 100);
+  EXPECT_NEAR(d->images[0], 128.0F / 255.0F, 1e-6F);
+}
+
+TEST(Cifar, ParsesWellFormedBinary) {
+  // Synthesize a one-record CIFAR-10 test file.
+  const std::string dir = ::testing::TempDir() + "/cifar_fake";
+  std::filesystem::create_directories(dir);
+  std::ofstream os{dir + "/test_batch.bin", std::ios::binary};
+  unsigned char label = 7;
+  os.write(reinterpret_cast<char*>(&label), 1);
+  std::vector<unsigned char> img(3072, 255);
+  img[0] = 0;
+  os.write(reinterpret_cast<char*>(img.data()), 3072);
+  os.close();
+
+  const auto d = load_cifar10(dir, false);
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(d->size(), 1);
+  EXPECT_EQ(d->labels[0], 7);
+  EXPECT_FLOAT_EQ(d->images[0], 0.0F);
+  EXPECT_FLOAT_EQ(d->images[1], 1.0F);
+}
+
+}  // namespace
+}  // namespace ttfs::data

@@ -1,0 +1,185 @@
+// End-to-end pipeline tests: CAT training -> conversion -> SNN execution ->
+// log quantization -> hardware model, exercising the paper's full flow on a
+// small network.
+#include <gtest/gtest.h>
+
+#include "cat/conversion.h"
+#include "cat/logquant.h"
+#include "cat/trainer.h"
+#include "data/synthetic.h"
+#include "hw/activity.h"
+#include "hw/processor.h"
+#include "nn/metrics.h"
+#include "nn/vgg.h"
+#include "snn/event_sim.h"
+#include "util/rng.h"
+
+namespace ttfs {
+namespace {
+
+struct Pipeline {
+  data::LabeledData train;
+  data::LabeledData test;
+  nn::Model model;
+  cat::TrainConfig config;
+};
+
+// A single shared fixture trained once: several tests probe different
+// properties of the same trained artifact to keep runtime sane.
+Pipeline& trained_pipeline() {
+  static Pipeline* p = [] {
+    auto* pipe = new Pipeline{};
+    data::SyntheticSpec spec = data::syn_cifar10_spec();
+    spec.classes = 5;
+    spec.image = 12;
+    spec.noise = 0.08;
+    pipe->train = data::generate_synthetic(spec, 400, 0);
+    pipe->test = data::generate_synthetic(spec, 150, 1);
+
+    pipe->config = cat::TrainConfig::compressed(12);
+    pipe->config.window = 24;
+    pipe->config.tau = 4.0;
+    pipe->config.schedule.mode = cat::CatMode::kFull;
+    pipe->config.verbose = false;
+    pipe->config.seed = 99;
+
+    Rng rng{pipe->config.seed};
+    pipe->model = nn::build_vgg(nn::vgg_micro_spec(5), 3, 12, rng);
+    (void)cat::train_cat(pipe->model, pipe->train, pipe->test, pipe->config);
+    return pipe;
+  }();
+  return *p;
+}
+
+TEST(Pipeline, CatTrainingLearns) {
+  Pipeline& p = trained_pipeline();
+  const auto batches = data::make_batches(p.test, 64, nullptr);
+  const double ann_acc = nn::evaluate_accuracy(p.model, batches);
+  EXPECT_GT(ann_acc, 50.0) << "CAT training failed to learn (5 classes, chance = 20%)";
+}
+
+TEST(Pipeline, ConversionIsNearLossless) {
+  // The paper's Table 1 row I+II+III: conversion loss ~0 when the ANN was
+  // trained with phi_TTFS everywhere. Here we require *exact* agreement of
+  // predictions, which holds because phi_TTFS and the SNN share fire_step.
+  Pipeline& p = trained_pipeline();
+  const auto batches = data::make_batches(p.test, 64, nullptr);
+  const double ann_acc = nn::evaluate_accuracy(p.model, batches);
+
+  snn::SnnNetwork net = cat::convert_to_snn(p.model, p.config.kernel(), p.train);
+  const double snn_acc = nn::evaluate_accuracy_fn(
+      [&net](const Tensor& images) { return net.forward(images); }, batches);
+  EXPECT_NEAR(snn_acc, ann_acc, 1.0) << "conversion loss should be ~0 for I+II+III";
+}
+
+TEST(Pipeline, EventSimAgreesOnPredictions) {
+  Pipeline& p = trained_pipeline();
+  snn::SnnNetwork net = cat::convert_to_snn(p.model, p.config.kernel(), p.train);
+  const std::int64_t pix = p.test.images.numel() / p.test.size();
+  int checked = 0;
+  for (std::int64_t i = 0; i < 10; ++i) {
+    Tensor img{{3, 12, 12},
+               std::vector<float>(p.test.images.data() + i * pix,
+                                  p.test.images.data() + (i + 1) * pix)};
+    const snn::EventTrace trace = snn::run_event_sim(net, img);
+    Tensor batch{{1, 3, 12, 12}, std::vector<float>(img.vec())};
+    const Tensor fast = net.forward(batch);
+    std::int64_t a = 0, b = 0;
+    for (std::int64_t j = 1; j < fast.numel(); ++j) {
+      if (fast[j] > fast[a]) a = j;
+      if (trace.logits[j] > trace.logits[b]) b = j;
+    }
+    EXPECT_EQ(a, b) << "image " << i;
+    ++checked;
+  }
+  EXPECT_EQ(checked, 10);
+}
+
+TEST(Pipeline, LogQuantizationDegradesGracefully) {
+  Pipeline& p = trained_pipeline();
+  const auto batches = data::make_batches(p.test, 64, nullptr);
+
+  snn::SnnNetwork fp = cat::convert_to_snn(p.model, p.config.kernel(), p.train);
+  const double fp_acc = nn::evaluate_accuracy_fn(
+      [&fp](const Tensor& images) { return fp.forward(images); }, batches);
+
+  // 5-bit sqrt-2 base (the paper's selected config) should track fp closely;
+  // 3-bit octave should hurt more.
+  snn::SnnNetwork q5 = cat::convert_to_snn(p.model, p.config.kernel(), p.train);
+  cat::LogQuantConfig cfg5;
+  cfg5.bits = 5;
+  cfg5.z = 1;
+  cat::log_quantize_network(q5, cfg5);
+  const double q5_acc = nn::evaluate_accuracy_fn(
+      [&q5](const Tensor& images) { return q5.forward(images); }, batches);
+
+  snn::SnnNetwork q3 = cat::convert_to_snn(p.model, p.config.kernel(), p.train);
+  cat::LogQuantConfig cfg3;
+  cfg3.bits = 3;
+  cfg3.z = 0;
+  cat::log_quantize_network(q3, cfg3);
+  const double q3_acc = nn::evaluate_accuracy_fn(
+      [&q3](const Tensor& images) { return q3.forward(images); }, batches);
+
+  EXPECT_GT(q5_acc, fp_acc - 12.0);
+  EXPECT_LE(q3_acc, q5_acc + 1.0);
+}
+
+TEST(Pipeline, MeasuredActivityFeedsHardwareModel) {
+  Pipeline& p = trained_pipeline();
+  snn::SnnNetwork net = cat::convert_to_snn(p.model, p.config.kernel(), p.train);
+  const auto activity = hw::measure_activity(net, data::head(p.test, 32));
+  ASSERT_GE(activity.size(), 2U);
+  for (const double a : activity) {
+    EXPECT_GE(a, 0.0);
+    EXPECT_LE(a, 1.0);
+  }
+
+  hw::NetworkWorkload w = hw::workload_from_snn(net, 3, 12, "mini");
+  w.activity = activity;
+  hw::ArchConfig arch;
+  arch.window = p.config.window;
+  const hw::ProcessorReport r = hw::SnnProcessorModel{arch, hw::default_tech()}.run(w);
+  EXPECT_GT(r.total_cycles, 0);
+  EXPECT_GT(r.energy_per_image_uj(), 0.0);
+  EXPECT_GT(r.fps, 0.0);
+}
+
+TEST(Pipeline, ClipOnlyModeLosesMoreThanFull) {
+  // Miniature Table 1: at an aggressive (T=12, tau=2) code, mode I shows a
+  // real conversion loss while mode I+II+III stays near its ANN accuracy.
+  data::SyntheticSpec spec = data::syn_cifar10_spec();
+  spec.classes = 4;
+  spec.image = 10;
+  spec.noise = 0.06;
+  const auto train = data::generate_synthetic(spec, 300, 0);
+  const auto test = data::generate_synthetic(spec, 120, 1);
+  const auto batches = data::make_batches(test, 64, nullptr);
+
+  const auto run_mode = [&](cat::CatMode mode) {
+    cat::TrainConfig cfg = cat::TrainConfig::compressed(10);
+    cfg.window = 12;
+    cfg.tau = 2.0;
+    cfg.schedule.mode = mode;
+    cfg.verbose = false;
+    cfg.seed = 1234;
+    Rng rng{cfg.seed};
+    nn::Model model = nn::build_vgg(nn::vgg_micro_spec(4), 3, 10, rng);
+    (void)cat::train_cat(model, train, test, cfg);
+    const double ann = nn::evaluate_accuracy(model, batches);
+    snn::SnnNetwork net = cat::convert_to_snn(model, cfg.kernel(), train);
+    const double snn = nn::evaluate_accuracy_fn(
+        [&net](const Tensor& images) { return net.forward(images); }, batches);
+    return std::pair<double, double>{ann, snn};
+  };
+
+  const auto [ann_i, snn_i] = run_mode(cat::CatMode::kClipOnly);
+  const auto [ann_f, snn_f] = run_mode(cat::CatMode::kFull);
+  const double loss_i = ann_i - snn_i;
+  const double loss_f = ann_f - snn_f;
+  EXPECT_GT(loss_i, loss_f - 1.0) << "clip-only should lose at least as much as full CAT";
+  EXPECT_LT(loss_f, 6.0) << "full CAT conversion loss should be small";
+}
+
+}  // namespace
+}  // namespace ttfs

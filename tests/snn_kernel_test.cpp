@@ -1,0 +1,158 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "snn/kernel.h"
+#include "util/rng.h"
+
+namespace ttfs::snn {
+namespace {
+
+TEST(Base2Kernel, LevelValues) {
+  const Base2Kernel k{24, 4.0, 1.0};
+  EXPECT_DOUBLE_EQ(k.level(0), 1.0);
+  EXPECT_DOUBLE_EQ(k.level(4), 0.5);
+  EXPECT_DOUBLE_EQ(k.level(8), 0.25);
+  EXPECT_NEAR(k.min_level(), static_cast<float>(std::exp2(-23.0 / 4.0)), 1e-12);
+}
+
+TEST(Base2Kernel, FireStepBoundaries) {
+  const Base2Kernel k{24, 4.0, 1.0};
+  EXPECT_EQ(k.fire_step(1.0), 0);      // at theta0: immediate fire
+  EXPECT_EQ(k.fire_step(2.0), 0);      // saturated
+  EXPECT_EQ(k.fire_step(0.5), 4);      // exact grid point round-trips
+  EXPECT_EQ(k.fire_step(0.49), 5);     // just below -> next (later) step
+  EXPECT_EQ(k.fire_step(0.0), kNoSpike);
+  EXPECT_EQ(k.fire_step(-0.3), kNoSpike);
+  EXPECT_EQ(k.fire_step(k.min_level()), k.window() - 1);
+  EXPECT_EQ(k.fire_step(k.min_level() * 0.999), kNoSpike);
+}
+
+TEST(Base2Kernel, BadParamsThrow) {
+  EXPECT_THROW((Base2Kernel{0, 4.0, 1.0}), std::invalid_argument);
+  EXPECT_THROW((Base2Kernel{24, 0.0, 1.0}), std::invalid_argument);
+  EXPECT_THROW((Base2Kernel{24, 4.0, -1.0}), std::invalid_argument);
+}
+
+// Property: for every u, the fire step is the *first* step whose threshold is
+// <= u — i.e. u >= level(k) and (k == 0 or u < level(k-1)).
+class Base2Params : public ::testing::TestWithParam<std::pair<int, double>> {};
+
+TEST_P(Base2Params, FireStepIsFirstCrossing) {
+  const auto [window, tau] = GetParam();
+  const Base2Kernel k{window, tau, 1.0};
+  Rng rng{static_cast<std::uint64_t>(window * 31 + static_cast<int>(tau))};
+  for (int trial = 0; trial < 3000; ++trial) {
+    const double u = rng.uniform(-0.2, 1.5);
+    const int step = k.fire_step(u);
+    if (step == kNoSpike) {
+      EXPECT_TRUE(u < k.min_level() || u <= 0.0) << "u=" << u;
+    } else {
+      EXPECT_GE(u, k.level(step)) << "u=" << u << " step=" << step;
+      if (step > 0) {
+        EXPECT_LT(u, k.level(step - 1)) << "u=" << u << " step=" << step;
+      }
+    }
+  }
+}
+
+TEST_P(Base2Params, QuantizeIdempotentAndBelow) {
+  const auto [window, tau] = GetParam();
+  const Base2Kernel k{window, tau, 1.0};
+  Rng rng{static_cast<std::uint64_t>(window * 91 + 7)};
+  for (int trial = 0; trial < 3000; ++trial) {
+    const double u = rng.uniform(0.0, 1.4);
+    const double q = k.quantize(u);
+    // Idempotent: quantized values are fixed points.
+    EXPECT_DOUBLE_EQ(k.quantize(q), q);
+    // Round-down (never overestimates in-range values).
+    if (u < 1.0) {
+      EXPECT_LE(q, u + 1e-12);
+    }
+    // Saturation.
+    if (u >= 1.0) {
+      EXPECT_DOUBLE_EQ(q, 1.0);
+    }
+  }
+}
+
+TEST_P(Base2Params, GridRoundTrip) {
+  const auto [window, tau] = GetParam();
+  const Base2Kernel k{window, tau, 1.0};
+  for (int step = 0; step < window; ++step) {
+    EXPECT_EQ(k.fire_step(k.level(step)), step) << "level " << step;
+    EXPECT_DOUBLE_EQ(k.quantize(k.level(step)), k.level(step));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Kernels, Base2Params,
+                         ::testing::Values(std::make_pair(12, 2.0), std::make_pair(24, 4.0),
+                                           std::make_pair(48, 8.0), std::make_pair(80, 20.0),
+                                           std::make_pair(8, 1.0), std::make_pair(16, 4.0)));
+
+TEST(Base2Kernel, NonUnitTheta0) {
+  const Base2Kernel k{16, 4.0, 2.0};
+  EXPECT_EQ(k.fire_step(2.0), 0);
+  EXPECT_EQ(k.fire_step(1.0), 4);
+  EXPECT_DOUBLE_EQ(k.quantize(3.0), 2.0);
+}
+
+TEST(Base2Kernel, LevelsVectorMatches) {
+  const Base2Kernel k{8, 2.0, 1.0};
+  const auto levels = k.levels();
+  ASSERT_EQ(levels.size(), 8U);
+  for (int i = 0; i < 8; ++i) EXPECT_DOUBLE_EQ(levels[static_cast<std::size_t>(i)], k.level(i));
+}
+
+TEST(BaseEKernel, MatchesBase2WhenAligned) {
+  // kappa(t) = 2^(-t/tau2) equals eps(t) = e^(-t/taue) when taue = tau2/ln2.
+  const Base2Kernel k2{24, 4.0, 1.0};
+  const BaseEKernel ke{24, 4.0 / std::log(2.0), 0.0, 1.0};
+  Rng rng{77};
+  for (int trial = 0; trial < 2000; ++trial) {
+    const double u = rng.uniform(0.0, 1.3);
+    EXPECT_EQ(k2.fire_step(u), ke.fire_step(u)) << "u=" << u;
+  }
+}
+
+TEST(BaseEKernel, DelayShiftsThreshold) {
+  // td > 0 raises level(0) above theta0, letting values > theta0 be coded.
+  const BaseEKernel k{80, 20.0, 10.0, 1.0};
+  EXPECT_GT(k.level(0), 1.0);
+  const int step = k.fire_step(1.2);
+  EXPECT_NE(step, kNoSpike);
+  EXPECT_GT(step, 0);
+  EXPECT_LE(k.quantize(1.2), 1.2 + 1e-12);
+}
+
+TEST(BaseEKernel, FirstCrossingProperty) {
+  const BaseEKernel k{40, 9.0, 5.0, 1.0};
+  Rng rng{78};
+  for (int trial = 0; trial < 3000; ++trial) {
+    const double u = rng.uniform(-0.1, 2.0);
+    const int step = k.fire_step(u);
+    if (step == kNoSpike) {
+      EXPECT_TRUE(u < k.min_level() || u <= 0.0);
+    } else {
+      EXPECT_GE(u, k.level(step));
+      if (step > 0) {
+        EXPECT_LT(u, k.level(step - 1));
+      }
+    }
+  }
+}
+
+TEST(Base2Kernel, MonotoneQuantization) {
+  // u1 <= u2 implies quantize(u1) <= quantize(u2).
+  const Base2Kernel k{24, 4.0, 1.0};
+  Rng rng{79};
+  for (int trial = 0; trial < 2000; ++trial) {
+    double a = rng.uniform(0.0, 1.2);
+    double b = rng.uniform(0.0, 1.2);
+    if (a > b) std::swap(a, b);
+    EXPECT_LE(k.quantize(a), k.quantize(b) + 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace ttfs::snn

@@ -1,0 +1,125 @@
+// Tests for the global-timestep timeline engine: it must agree with the other
+// two execution models and respect the Fig. 1 window schedule.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "snn/event_sim.h"
+#include "snn/network.h"
+#include "snn/timeline.h"
+#include "util/rng.h"
+
+namespace ttfs::snn {
+namespace {
+
+Tensor random_tensor(std::vector<std::int64_t> shape, Rng& rng, float lo, float hi) {
+  Tensor t{std::move(shape)};
+  for (std::int64_t i = 0; i < t.numel(); ++i) t[i] = rng.uniform_f(lo, hi);
+  return t;
+}
+
+SnnNetwork make_net(Rng& rng, int window = 24, double tau = 4.0) {
+  SnnNetwork net{Base2Kernel{window, tau, 1.0}};
+  net.add_conv(random_tensor({4, 2, 3, 3}, rng, -0.15F, 0.25F),
+               random_tensor({4}, rng, -0.05F, 0.1F), 1, 1);
+  net.add_pool(2, 2);
+  net.add_conv(random_tensor({6, 4, 3, 3}, rng, -0.1F, 0.15F),
+               random_tensor({6}, rng, -0.05F, 0.1F), 1, 1);
+  net.add_fc(random_tensor({8, 6 * 4 * 4}, rng, -0.05F, 0.08F),
+             random_tensor({8}, rng, -0.05F, 0.05F));
+  net.add_fc(random_tensor({3, 8}, rng, -0.3F, 0.3F), random_tensor({3}, rng, -0.1F, 0.1F));
+  return net;
+}
+
+TEST(Timeline, EventsMatchTraceMaps) {
+  Rng rng{300};
+  SnnNetwork net = make_net(rng);
+  const int T = net.kernel().window();
+  for (int trial = 0; trial < 3; ++trial) {
+    Tensor img = random_tensor({2, 8, 8}, rng, 0.0F, 1.0F);
+    const auto maps = net.trace(img);
+    const TimelineResult timeline = run_timeline(net, img);
+
+    // Group timeline events by stage and rebuild window-relative step maps.
+    std::vector<std::vector<int>> steps(maps.size());
+    for (std::size_t s = 0; s < maps.size(); ++s) {
+      steps[s].assign(static_cast<std::size_t>(maps[s].neuron_count()), kNoSpike);
+    }
+    for (const TimelineEvent& e : timeline.events) {
+      ASSERT_LT(static_cast<std::size_t>(e.stage), maps.size());
+      steps[static_cast<std::size_t>(e.stage)][static_cast<std::size_t>(e.neuron)] =
+          e.global_step % T;
+    }
+    for (std::size_t s = 0; s < maps.size(); ++s) {
+      EXPECT_EQ(steps[s], maps[s].steps) << "stage " << s << " trial " << trial;
+    }
+  }
+}
+
+TEST(Timeline, LogitsMatchFastPath) {
+  Rng rng{301};
+  SnnNetwork net = make_net(rng);
+  Tensor img = random_tensor({2, 8, 8}, rng, 0.0F, 1.0F);
+  Tensor batch{{1, 2, 8, 8}, std::vector<float>(img.vec())};
+  const Tensor fast = net.forward(batch);
+  const TimelineResult timeline = run_timeline(net, img);
+  ASSERT_EQ(timeline.logits.numel(), fast.numel());
+  for (std::int64_t i = 0; i < fast.numel(); ++i) {
+    EXPECT_NEAR(timeline.logits[i], fast[i], 2e-4F) << "logit " << i;
+  }
+}
+
+TEST(Timeline, EventsRespectWindowSchedule) {
+  // Each fire stage occupies its own window; pools fire in their source's
+  // window. Stage windows are monotone along the pipeline (Fig. 1).
+  Rng rng{302};
+  SnnNetwork net = make_net(rng);
+  const int T = net.kernel().window();
+  Tensor img = random_tensor({2, 8, 8}, rng, 0.2F, 1.0F);
+  const TimelineResult timeline = run_timeline(net, img);
+  EXPECT_EQ(timeline.total_timesteps, net.latency_timesteps());
+
+  // stage -> window mapping from observed events must be single-valued for
+  // weighted stages; pool stages share their source's window.
+  std::map<int, int> stage_window;
+  for (const TimelineEvent& e : timeline.events) {
+    EXPECT_GE(e.global_step, 0);
+    EXPECT_LT(e.global_step, timeline.total_timesteps);
+    const int w = e.global_step / T;
+    auto [it, inserted] = stage_window.emplace(e.stage, w);
+    if (!inserted) {
+      EXPECT_EQ(it->second, w) << "stage " << e.stage << " spans windows";
+    }
+  }
+  // Stage ids in trace order: 0 input, 1 conv1, 2 pool, 3 conv2, 4 fc1.
+  // Windows: input 0; conv1 fires in window 1; the pool piggybacks on conv1's
+  // window; conv2 in window 2; fc1 in window 3.
+  const std::map<int, int> expected{{0, 0}, {1, 1}, {2, 1}, {3, 2}, {4, 3}};
+  for (const auto& [stage, window] : stage_window) {
+    ASSERT_TRUE(expected.count(stage) != 0U) << "unexpected stage " << stage;
+    EXPECT_EQ(window, expected.at(stage)) << "stage " << stage;
+  }
+}
+
+TEST(Timeline, ChronologicalEvents) {
+  Rng rng{303};
+  SnnNetwork net = make_net(rng);
+  Tensor img = random_tensor({2, 8, 8}, rng, 0.0F, 1.0F);
+  const TimelineResult timeline = run_timeline(net, img);
+  for (std::size_t i = 1; i < timeline.events.size(); ++i) {
+    EXPECT_LE(timeline.events[i - 1].global_step, timeline.events[i].global_step);
+  }
+  EXPECT_GT(timeline.spike_count(), 0);
+}
+
+TEST(Timeline, AgreesWithEventSimSpikeCount) {
+  Rng rng{304};
+  SnnNetwork net = make_net(rng);
+  Tensor img = random_tensor({2, 8, 8}, rng, 0.0F, 1.0F);
+  const TimelineResult timeline = run_timeline(net, img);
+  const EventTrace events = run_event_sim(net, img);
+  EXPECT_EQ(timeline.spike_count(), events.total_spikes());
+}
+
+}  // namespace
+}  // namespace ttfs::snn
