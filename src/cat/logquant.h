@@ -8,6 +8,7 @@
 // lets the PE replace multiplication with exponent-add + LUT + shift.
 #pragma once
 
+#include <cmath>
 #include <cstdint>
 #include <vector>
 

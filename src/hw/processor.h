@@ -20,6 +20,7 @@
 // TechParams energy table.
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <vector>
 

@@ -6,6 +6,7 @@
 // which is why gamma/beta/running_mean/running_var are exposed.
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <vector>
 

@@ -1,6 +1,7 @@
 // Flattens NCHW activations to (batch, features) between conv and FC stages.
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <vector>
 

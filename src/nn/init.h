@@ -1,6 +1,8 @@
 // Weight initialization.
 #pragma once
 
+#include <cstdint>
+
 #include "tensor/tensor.h"
 #include "util/rng.h"
 

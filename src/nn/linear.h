@@ -1,6 +1,7 @@
 // Fully connected layer: y = x W^T + b, weights stored (out, in).
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <vector>
 

@@ -5,6 +5,7 @@
 // to activation sites, which the CAT trainer mutates across training stages.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <utility>

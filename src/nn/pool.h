@@ -2,6 +2,7 @@
 // TTFS spike domain it maps exactly onto earliest-spike-wins (snn/ layers).
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <vector>
 

@@ -12,6 +12,7 @@
 // layer ... to simulate input image being presented using spikes").
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <vector>
 

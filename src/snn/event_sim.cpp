@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "util/check.h"
+#include "util/thread_pool.h"
 
 namespace ttfs::snn {
 
@@ -199,6 +200,44 @@ EventTrace run_event_sim(const SnnNetwork& net, const Tensor& image) {
   }
   TTFS_CHECK_MSG(false, "SNN has no output layer");
   return trace;
+}
+
+std::int64_t BatchEventResult::total_spikes() const {
+  std::int64_t n = 0;
+  for (const auto& t : traces) n += t.total_spikes();
+  return n;
+}
+
+std::int64_t BatchEventResult::total_integration_ops() const {
+  std::int64_t n = 0;
+  for (const auto& t : traces) n += t.total_integration_ops();
+  return n;
+}
+
+BatchEventResult run_event_sim_batch(const SnnNetwork& net, const Tensor& nchw,
+                                     ThreadPool* pool) {
+  TTFS_CHECK(nchw.rank() == 4);
+  const std::int64_t n = nchw.dim(0);
+
+  BatchEventResult out;
+  out.traces.resize(static_cast<std::size_t>(n));
+  ThreadPool& workers = pool != nullptr ? *pool : global_pool();
+  workers.parallel_for(0, n, [&](std::int64_t lo, std::int64_t hi) {
+    for (std::int64_t i = lo; i < hi; ++i) {
+      // Worker-local copy of the sample; all membrane/spike state lives
+      // inside run_event_sim, so samples never contend.
+      out.traces[static_cast<std::size_t>(i)] = run_event_sim(net, nchw.sample0(i));
+    }
+  });
+
+  const std::int64_t classes = n == 0 ? 0 : out.traces[0].logits.numel();
+  out.logits = Tensor{{n, classes}};
+  for (std::int64_t i = 0; i < n; ++i) {
+    const Tensor& row = out.traces[static_cast<std::size_t>(i)].logits;
+    TTFS_CHECK(row.numel() == classes);
+    std::copy(row.data(), row.data() + classes, out.logits.data() + i * classes);
+  }
+  return out;
 }
 
 }  // namespace ttfs::snn

@@ -19,6 +19,10 @@
 #include "snn/network.h"
 #include "tensor/tensor.h"
 
+namespace ttfs {
+class ThreadPool;
+}
+
 namespace ttfs::snn {
 
 // One emitted spike. Emission order within a fire phase is (step ascending,
@@ -45,6 +49,25 @@ struct EventTrace {
 
 // Runs one image (C, H, W) through `net` event by event.
 EventTrace run_event_sim(const SnnNetwork& net, const Tensor& image);
+
+// Result of a batched event simulation. Traces are indexed by sample in input
+// order and the aggregate counters sum them in that same order, so the whole
+// struct is bit-identical to running `run_event_sim` in a sequential loop —
+// regardless of how many workers executed the batch.
+struct BatchEventResult {
+  std::vector<EventTrace> traces;  // one per sample, input order
+  Tensor logits;                   // (N, classes); row i = traces[i].logits
+
+  std::int64_t total_spikes() const;
+  std::int64_t total_integration_ops() const;
+};
+
+// Runs a batch (N, C, H, W) through `net`, fanning samples out across `pool`
+// (global_pool() when null; a 0-thread pool runs inline). Each sample carries
+// its own membrane/spike buffers inside run_event_sim, so workers share
+// nothing but the read-only network.
+BatchEventResult run_event_sim_batch(const SnnNetwork& net, const Tensor& nchw,
+                                     ThreadPool* pool = nullptr);
 
 // The fire-phase / spike-encoder primitive (Sec. 4): encodes a vector of
 // membrane voltages into priority-ordered spikes and counts encoder cycles

@@ -1,7 +1,10 @@
 #include "snn/network.h"
 
+#include <algorithm>
+
 #include "nn/functional.h"
 #include "util/check.h"
+#include "util/thread_pool.h"
 
 namespace ttfs::snn {
 
@@ -149,6 +152,47 @@ Tensor SnnNetwork::forward(const Tensor& images, SnnRunStats* stats) const {
   return {};
 }
 
+Tensor SnnNetwork::classify(const Tensor& images, SnnRunStats* stats, ThreadPool* pool) const {
+  TTFS_CHECK(images.rank() == 4 || images.rank() == 2);
+  const std::int64_t n = images.dim(0);
+
+  std::vector<Tensor> rows(static_cast<std::size_t>(n));
+  std::vector<SnnRunStats> row_stats(stats != nullptr ? static_cast<std::size_t>(n) : 0);
+  ThreadPool& workers = pool != nullptr ? *pool : global_pool();
+  workers.parallel_for(0, n, [&](std::int64_t lo, std::int64_t hi) {
+    for (std::int64_t i = lo; i < hi; ++i) {
+      // Worker-local slice: the GEMM/membrane buffers live inside forward().
+      const std::size_t idx = static_cast<std::size_t>(i);
+      rows[idx] = forward(images.slice0(i, 1), stats != nullptr ? &row_stats[idx] : nullptr);
+    }
+  });
+
+  // Merge in sample order. Spike/neuron counters are exact integers, so the
+  // totals match the sequential loop bit for bit.
+  const std::int64_t classes = n == 0 ? 0 : rows[0].numel();
+  Tensor logits{{n, classes}};
+  for (std::int64_t i = 0; i < n; ++i) {
+    const Tensor& row = rows[static_cast<std::size_t>(i)];
+    TTFS_CHECK(row.numel() == classes);
+    std::copy(row.data(), row.data() + classes, logits.data() + i * classes);
+  }
+  if (stats != nullptr) {
+    const std::size_t weighted = weighted_layer_count();
+    if (stats->spikes_per_layer.empty()) {
+      stats->spikes_per_layer.assign(weighted, 0);
+      stats->neurons_per_layer.assign(weighted, 0);
+    }
+    for (const SnnRunStats& rs : row_stats) {
+      stats->images += rs.images;
+      for (std::size_t l = 0; l < rs.spikes_per_layer.size(); ++l) {
+        stats->spikes_per_layer[l] += rs.spikes_per_layer[l];
+        stats->neurons_per_layer[l] += rs.neurons_per_layer[l];
+      }
+    }
+  }
+  return logits;
+}
+
 std::vector<SpikeMap> SnnNetwork::trace(const Tensor& image) const {
   TTFS_CHECK(image.rank() == 3);
   std::vector<SpikeMap> maps;
@@ -188,6 +232,21 @@ std::vector<SpikeMap> SnnNetwork::trace(const Tensor& image) const {
     }
   }
   return maps;
+}
+
+std::vector<std::vector<SpikeMap>> SnnNetwork::trace_batch(const Tensor& nchw,
+                                                           ThreadPool* pool) const {
+  TTFS_CHECK(nchw.rank() == 4);
+  const std::int64_t n = nchw.dim(0);
+
+  std::vector<std::vector<SpikeMap>> out(static_cast<std::size_t>(n));
+  ThreadPool& workers = pool != nullptr ? *pool : global_pool();
+  workers.parallel_for(0, n, [&](std::int64_t lo, std::int64_t hi) {
+    for (std::int64_t i = lo; i < hi; ++i) {
+      out[static_cast<std::size_t>(i)] = trace(nchw.sample0(i));
+    }
+  });
+  return out;
 }
 
 }  // namespace ttfs::snn

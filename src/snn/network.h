@@ -23,6 +23,10 @@
 #include "snn/kernel.h"
 #include "tensor/tensor.h"
 
+namespace ttfs {
+class ThreadPool;
+}
+
 namespace ttfs::snn {
 
 // Fire steps for every neuron of one layer, flattened in NCHW order.
@@ -78,11 +82,25 @@ class SnnNetwork {
   // no activation on the output layer). Pass `stats` to collect spike counts.
   Tensor forward(const Tensor& images, SnnRunStats* stats = nullptr) const;
 
+  // Batched classification: same contract as forward(), but samples fan out
+  // across `pool` (global_pool() when null) and each worker runs the
+  // single-sample forward on its own buffers. Logits rows and stats are
+  // merged in sample order, so the result is bit-identical to calling
+  // forward() on each (1, ...) slice in a sequential loop.
+  Tensor classify(const Tensor& images, SnnRunStats* stats = nullptr,
+                  ThreadPool* pool = nullptr) const;
+
   // Runs one image (C, H, W) and returns the SpikeMap of every fire phase:
   // index 0 is the encoded input, then one entry per spiking layer (pools act
   // in the spike domain and produce their own map; the output layer emits
   // none). Used by the event simulator and the hardware model.
   std::vector<SpikeMap> trace(const Tensor& image) const;
+
+  // Batched trace(): runs every sample of (N, C, H, W) through trace() with
+  // per-sample fan-out across `pool`; results are indexed by sample in input
+  // order, identical to a sequential loop over trace().
+  std::vector<std::vector<SpikeMap>> trace_batch(const Tensor& nchw,
+                                                 ThreadPool* pool = nullptr) const;
 
   // Pipeline latency in timesteps: (1 + number of weighted layers) * T.
   int latency_timesteps() const;

@@ -60,6 +60,24 @@ Tensor Tensor::reshaped(std::vector<std::int64_t> new_shape) const {
   return Tensor{std::move(new_shape), data_};
 }
 
+Tensor Tensor::slice0(std::int64_t begin, std::int64_t count) const {
+  TTFS_CHECK_MSG(rank() >= 1 && begin >= 0 && count >= 0 && begin + count <= dim(0),
+                 "slice0 [" << begin << ", " << begin + count << ") out of " << shape_str());
+  const std::int64_t stride = dim(0) == 0 ? 0 : numel() / dim(0);
+  std::vector<std::int64_t> shape = shape_;
+  shape[0] = count;
+  return Tensor{std::move(shape),
+                std::vector<float>(data() + begin * stride, data() + (begin + count) * stride)};
+}
+
+Tensor Tensor::sample0(std::int64_t i) const {
+  TTFS_CHECK_MSG(rank() >= 2 && i >= 0 && i < dim(0),
+                 "sample0 " << i << " out of " << shape_str());
+  const std::int64_t stride = numel() / dim(0);
+  return Tensor{std::vector<std::int64_t>(shape_.begin() + 1, shape_.end()),
+                std::vector<float>(data() + i * stride, data() + (i + 1) * stride)};
+}
+
 void Tensor::fill(float value) {
   for (auto& v : data_) v = value;
 }

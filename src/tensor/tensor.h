@@ -65,6 +65,14 @@ class Tensor {
   // data reinterpreted under a new shape (numel must match).
   Tensor reshaped(std::vector<std::int64_t> new_shape) const;
 
+  // Copies `count` consecutive entries along axis 0 starting at `begin`;
+  // result shape is (count, rest...). The batch-chunk primitive.
+  Tensor slice0(std::int64_t begin, std::int64_t count) const;
+
+  // Copies entry `i` along axis 0 with that axis dropped; a (N, C, H, W)
+  // batch yields a (C, H, W) sample. The per-sample fan-out primitive.
+  Tensor sample0(std::int64_t i) const;
+
   // Fills every element with `value`.
   void fill(float value);
 

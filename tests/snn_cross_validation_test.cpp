@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <vector>
 
 #include "cat/logpe.h"
 #include "cat/logquant.h"
@@ -13,6 +14,7 @@
 #include "snn/network.h"
 #include "snn/t2fsnn.h"
 #include "util/rng.h"
+#include "util/thread_pool.h"
 
 namespace ttfs {
 namespace {
@@ -172,6 +174,122 @@ TEST(EventSimEnergyHooks, IntegrationOpsMatchDenseTimesActivity) {
   const std::int64_t dense = 8LL * 3 * 3 * 3 * 10 * 10;
   EXPECT_GT(trace.layers[1].integration_ops, dense * 7 / 10);  // border effects
   EXPECT_LE(trace.layers[1].integration_ops, dense);
+}
+
+// A conv/pool/fc stack plus a batch of images for the batching equivalence
+// tests below.
+snn::SnnNetwork batching_net(Rng& rng) {
+  snn::SnnNetwork net{snn::Base2Kernel{24, 4.0, 1.0}};
+  net.add_conv(random_tensor({6, 3, 3, 3}, rng, -0.15F, 0.25F),
+               random_tensor({6}, rng, -0.05F, 0.1F), /*stride=*/1, /*pad=*/1);
+  net.add_pool(2, 2);
+  net.add_conv(random_tensor({8, 6, 3, 3}, rng, -0.1F, 0.15F),
+               random_tensor({8}, rng, -0.05F, 0.1F), /*stride=*/2, /*pad=*/1);
+  net.add_fc(random_tensor({5, 8 * 3 * 3}, rng, -0.1F, 0.12F),
+             random_tensor({5}, rng, -0.05F, 0.05F));
+  return net;
+}
+
+TEST(BatchEventSim, MatchesSequentialLoopBitExactly) {
+  // run_event_sim_batch must reproduce the per-sample run_event_sim loop
+  // exactly: every spike (neuron, step, emission order), every op/cycle
+  // counter and every logit — the activity accounting that feeds the hardware
+  // model may not drift when inference is fanned out across workers.
+  Rng rng{300};
+  const snn::SnnNetwork net = batching_net(rng);
+  const Tensor images = random_tensor({6, 3, 10, 10}, rng, 0.0F, 1.0F);
+
+  std::vector<snn::EventTrace> seq;
+  for (std::int64_t i = 0; i < images.dim(0); ++i) {
+    seq.push_back(snn::run_event_sim(net, images.sample0(i)));
+  }
+
+  // Exercise a real fan-out (3 workers) and the inline path (0 workers).
+  for (const unsigned workers : {3U, 0U}) {
+    ThreadPool pool{workers};
+    const snn::BatchEventResult batched = snn::run_event_sim_batch(net, images, &pool);
+    ASSERT_EQ(batched.traces.size(), seq.size()) << "workers " << workers;
+    for (std::size_t i = 0; i < seq.size(); ++i) {
+      const snn::EventTrace& a = batched.traces[i];
+      const snn::EventTrace& b = seq[i];
+      ASSERT_EQ(a.layers.size(), b.layers.size()) << "sample " << i;
+      for (std::size_t l = 0; l < b.layers.size(); ++l) {
+        ASSERT_EQ(a.layers[l].spikes.size(), b.layers[l].spikes.size())
+            << "sample " << i << " layer " << l;
+        for (std::size_t s = 0; s < b.layers[l].spikes.size(); ++s) {
+          EXPECT_EQ(a.layers[l].spikes[s].neuron, b.layers[l].spikes[s].neuron);
+          EXPECT_EQ(a.layers[l].spikes[s].step, b.layers[l].spikes[s].step);
+        }
+        EXPECT_EQ(a.layers[l].neuron_count, b.layers[l].neuron_count);
+        EXPECT_EQ(a.layers[l].integration_ops, b.layers[l].integration_ops);
+        EXPECT_EQ(a.layers[l].encoder_cycles, b.layers[l].encoder_cycles);
+      }
+      ASSERT_EQ(a.logits.numel(), b.logits.numel());
+      for (std::int64_t j = 0; j < b.logits.numel(); ++j) {
+        EXPECT_EQ(a.logits[j], b.logits[j]) << "sample " << i << " logit " << j;
+      }
+      // Batch logits row i is sample i's logits verbatim.
+      for (std::int64_t j = 0; j < b.logits.numel(); ++j) {
+        EXPECT_EQ(batched.logits.at(static_cast<std::int64_t>(i), j), b.logits[j]);
+      }
+    }
+    // Aggregates merge in sample order — identical to summing the loop.
+    std::int64_t seq_spikes = 0, seq_ops = 0;
+    for (const auto& t : seq) {
+      seq_spikes += t.total_spikes();
+      seq_ops += t.total_integration_ops();
+    }
+    EXPECT_EQ(batched.total_spikes(), seq_spikes);
+    EXPECT_EQ(batched.total_integration_ops(), seq_ops);
+  }
+}
+
+TEST(BatchClassify, MatchesPerSampleForwardBitExactly) {
+  Rng rng{301};
+  const snn::SnnNetwork net = batching_net(rng);
+  const Tensor images = random_tensor({5, 3, 10, 10}, rng, 0.0F, 1.0F);
+
+  // Sequential reference: forward() on each (1, C, H, W) slice.
+  std::vector<Tensor> seq_rows;
+  snn::SnnRunStats seq_stats;
+  for (std::int64_t i = 0; i < images.dim(0); ++i) {
+    const Tensor one = images.sample0(i).reshaped({1, 3, 10, 10});
+    seq_rows.push_back(net.forward(one, &seq_stats));
+  }
+
+  ThreadPool pool{2};
+  snn::SnnRunStats batch_stats;
+  const Tensor logits = net.classify(images, &batch_stats, &pool);
+  ASSERT_EQ(logits.dim(0), images.dim(0));
+  for (std::int64_t i = 0; i < images.dim(0); ++i) {
+    ASSERT_EQ(seq_rows[static_cast<std::size_t>(i)].numel(), logits.dim(1));
+    for (std::int64_t j = 0; j < logits.dim(1); ++j) {
+      EXPECT_EQ(logits.at(i, j), seq_rows[static_cast<std::size_t>(i)][j])
+          << "sample " << i << " logit " << j;
+    }
+  }
+  EXPECT_EQ(batch_stats.images, seq_stats.images);
+  EXPECT_EQ(batch_stats.spikes_per_layer, seq_stats.spikes_per_layer);
+  EXPECT_EQ(batch_stats.neurons_per_layer, seq_stats.neurons_per_layer);
+}
+
+TEST(BatchTrace, MatchesPerSampleTrace) {
+  Rng rng{302};
+  const snn::SnnNetwork net = batching_net(rng);
+  const Tensor images = random_tensor({4, 3, 10, 10}, rng, 0.0F, 1.0F);
+
+  ThreadPool pool{2};
+  const auto batched = net.trace_batch(images, &pool);
+  ASSERT_EQ(batched.size(), static_cast<std::size_t>(images.dim(0)));
+  for (std::int64_t i = 0; i < images.dim(0); ++i) {
+    const auto maps = net.trace(images.sample0(i));
+    const auto& got = batched[static_cast<std::size_t>(i)];
+    ASSERT_EQ(got.size(), maps.size()) << "sample " << i;
+    for (std::size_t l = 0; l < maps.size(); ++l) {
+      EXPECT_EQ(got[l].shape, maps[l].shape) << "sample " << i << " layer " << l;
+      EXPECT_EQ(got[l].steps, maps[l].steps) << "sample " << i << " layer " << l;
+    }
+  }
 }
 
 }  // namespace
