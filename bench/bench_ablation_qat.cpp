@@ -11,7 +11,8 @@
 #include "common.h"
 #include "cat/logquant.h"
 
-int main() {
+int main(int argc, char** argv) {
+  ttfs::bench::init(argc, argv);
   using namespace ttfs;
   bench::print_scale_banner("QAT vs PTQ — deployed 4/5-bit log-weight accuracy");
 

@@ -7,9 +7,10 @@
 // The batched path is bit-identical to the sequential loop (see
 // tests/snn_cross_validation_test.cpp), so this measures pure scheduling win.
 //
-//   ./build/bench/bench_batch_throughput [--samples N] [--reps R]
+//   ./build/bench/bench_batch_throughput [--samples N] [--reps R] [--json]
 //
-// TTFS_THREADS caps the pool as everywhere else.
+// TTFS_THREADS caps the pool as everywhere else. With --json the table is
+// also written to BENCH_batch_throughput.json for CI artifact upload.
 #include <algorithm>
 #include <chrono>
 #include <iostream>
@@ -55,6 +56,7 @@ double seconds_since(std::chrono::steady_clock::time_point start) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  bench::init(argc, argv);
   const CliArgs args{argc, argv};
   const std::int64_t samples = args.get_int("samples", 64);
   const int reps = args.get_int("reps", 3);

@@ -1,0 +1,126 @@
+// Event-simulator hot-path benchmark: the overhauled simulator (repacked
+// weights, step-bucketed fire phase, arena-reused scratch) against the frozen
+// pre-overhaul reference on a VGG-style conv stack — the workload that
+// dominates every accuracy sweep and hardware-model run.
+//
+// Both simulators are run on identical samples and their spike/op/cycle
+// checksums are compared, so the reported speedup is for bit-identical work
+// (the equality is also asserted test-side in snn_cross_validation_test).
+//
+//   ./build/bench/bench_event_sim_hotpath [--samples N] [--reps R] [--json]
+//
+// With --json the table is also written to BENCH_event_sim_hotpath.json for
+// the CI perf-smoke artifact upload.
+#include <chrono>
+#include <cstdint>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common.h"
+#include "snn/event_sim.h"
+#include "snn/event_sim_reference.h"
+#include "snn/network.h"
+#include "util/cli.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace ttfs;
+
+Tensor random_tensor(std::vector<std::int64_t> shape, Rng& rng, float lo, float hi) {
+  Tensor t{std::move(shape)};
+  for (std::int64_t i = 0; i < t.numel(); ++i) t[i] = rng.uniform_f(lo, hi);
+  return t;
+}
+
+// VGG-style stack on 3x32x32: doubled channel widths across three pooled
+// stages, then a classifier — the shape of the paper's VGG-16 workload scaled
+// to bench runtime.
+snn::SnnNetwork make_vgg_style(Rng& rng) {
+  snn::SnnNetwork net{snn::Base2Kernel{24, 4.0, 1.0}};
+  net.add_conv(random_tensor({16, 3, 3, 3}, rng, -0.15F, 0.25F),
+               random_tensor({16}, rng, -0.05F, 0.1F), 1, 1);
+  net.add_conv(random_tensor({16, 16, 3, 3}, rng, -0.1F, 0.18F),
+               random_tensor({16}, rng, -0.05F, 0.1F), 1, 1);
+  net.add_pool(2, 2);
+  net.add_conv(random_tensor({32, 16, 3, 3}, rng, -0.1F, 0.15F),
+               random_tensor({32}, rng, -0.05F, 0.1F), 1, 1);
+  net.add_conv(random_tensor({32, 32, 3, 3}, rng, -0.08F, 0.12F),
+               random_tensor({32}, rng, -0.05F, 0.1F), 1, 1);
+  net.add_pool(2, 2);
+  net.add_conv(random_tensor({64, 32, 3, 3}, rng, -0.08F, 0.1F),
+               random_tensor({64}, rng, -0.04F, 0.08F), 1, 1);
+  net.add_pool(2, 2);
+  net.add_fc(random_tensor({10, 64 * 4 * 4}, rng, -0.08F, 0.1F),
+             random_tensor({10}, rng, -0.05F, 0.05F));
+  return net;
+}
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+}
+
+// Spike/op/cycle fingerprint of a trace — cheap proof both paths did the
+// same work. Unsigned: the 31x mixing wraps by design.
+std::uint64_t checksum(const snn::EventTrace& t) {
+  std::uint64_t n = static_cast<std::uint64_t>(t.total_spikes()) * 31 +
+                    static_cast<std::uint64_t>(t.total_integration_ops());
+  for (const auto& l : t.layers) n = n * 31 + static_cast<std::uint64_t>(l.encoder_cycles);
+  return n;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::init(argc, argv);
+  const CliArgs args{argc, argv};
+  const std::int64_t samples = args.get_int("samples", 8);
+  const int reps = args.get_int("reps", 3);
+
+  Rng rng{42};
+  const snn::SnnNetwork net = make_vgg_style(rng);
+  const Tensor images = random_tensor({samples, 3, 32, 32}, rng, 0.0F, 1.0F);
+
+  std::cout << "\n### event-sim hot path — VGG-style stack, " << samples
+            << " single-sample runs, best of " << reps << " reps\n\n";
+
+  Table table{"event_sim_hotpath"};
+  table.set_header({"simulator", "samples/s", "us/sample", "speedup"});
+
+  double rate_ref = 0.0, rate_opt = 0.0;
+  std::uint64_t sum_ref = 0, sum_opt = 0;
+
+  for (int rep = 0; rep < reps; ++rep) {
+    sum_ref = 0;
+    const auto start = std::chrono::steady_clock::now();
+    for (std::int64_t i = 0; i < samples; ++i) {
+      sum_ref += checksum(snn::reference::run_event_sim(net, images.sample0(i)));
+    }
+    rate_ref = std::max(rate_ref, static_cast<double>(samples) / seconds_since(start));
+  }
+
+  snn::SimArena arena;
+  arena.reserve_for(net, 3, 32, 32);
+  for (int rep = 0; rep < reps; ++rep) {
+    sum_opt = 0;
+    const auto start = std::chrono::steady_clock::now();
+    for (std::int64_t i = 0; i < samples; ++i) {
+      sum_opt += checksum(snn::run_event_sim(net, images.sample0(i), arena));
+    }
+    rate_opt = std::max(rate_opt, static_cast<double>(samples) / seconds_since(start));
+  }
+
+  table.add_row({"reference", Table::num(rate_ref, 1), Table::num(1e6 / rate_ref, 1), "1.00x"});
+  table.add_row({"overhauled", Table::num(rate_opt, 1), Table::num(1e6 / rate_opt, 1),
+                 Table::num(rate_opt / rate_ref, 2) + "x"});
+  bench::emit(table);
+
+  if (sum_ref != sum_opt) {
+    std::cerr << "CHECKSUM MISMATCH: reference " << sum_ref << " vs overhauled " << sum_opt
+              << "\n";
+    return 1;
+  }
+  std::cout << "(checksums match: " << sum_ref << ")\n";
+  return 0;
+}

@@ -11,7 +11,8 @@
 #include "nn/activation.h"
 #include "snn/kernel.h"
 
-int main() {
+int main(int argc, char** argv) {
+  ttfs::bench::init(argc, argv);
   using namespace ttfs;
   bench::print_scale_banner("Fig. 2 — activation functions and representation error");
 

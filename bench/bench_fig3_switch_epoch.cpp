@@ -12,7 +12,8 @@
 #include "common.h"
 #include "nn/sgd.h"
 
-int main() {
+int main(int argc, char** argv) {
+  ttfs::bench::init(argc, argv);
   using namespace ttfs;
   bench::print_scale_banner("Fig. 3 — phi_TTFS switch-epoch sweep");
 

@@ -10,7 +10,8 @@
 #include "common.h"
 #include "cat/logquant.h"
 
-int main() {
+int main(int argc, char** argv) {
+  ttfs::bench::init(argc, argv);
   using namespace ttfs;
   bench::print_scale_banner("Fig. 4 — accuracy vs weight bitwidth / log base");
 

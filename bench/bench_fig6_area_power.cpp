@@ -9,7 +9,8 @@
 #include "common.h"
 #include "hw/area_power.h"
 
-int main() {
+int main(int argc, char** argv) {
+  ttfs::bench::init(argc, argv);
   using namespace ttfs;
   bench::print_scale_banner("Fig. 6 — PE array area/power reductions");
 

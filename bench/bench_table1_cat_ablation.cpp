@@ -14,7 +14,8 @@
 
 #include "common.h"
 
-int main() {
+int main(int argc, char** argv) {
+  ttfs::bench::init(argc, argv);
   using namespace ttfs;
   bench::print_scale_banner("Table 1 — CAT ablation (accuracy & conversion loss)");
 

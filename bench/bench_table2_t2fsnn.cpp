@@ -10,7 +10,8 @@
 #include "common.h"
 #include "snn/t2fsnn.h"
 
-int main() {
+int main(int argc, char** argv) {
+  ttfs::bench::init(argc, argv);
   using namespace ttfs;
   bench::print_scale_banner("Table 2 — comparison with T2FSNN");
 

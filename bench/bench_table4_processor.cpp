@@ -16,7 +16,8 @@
 #include "hw/processor.h"
 #include "hw/tpu.h"
 
-int main() {
+int main(int argc, char** argv) {
+  ttfs::bench::init(argc, argv);
   using namespace ttfs;
   bench::print_scale_banner("Table 4 — processor comparison (VGG-16 workloads)");
 

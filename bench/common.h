@@ -7,6 +7,7 @@
 // delete the directory or set TTFS_REFRESH=1 to retrain.
 #pragma once
 
+#include <cctype>
 #include <cstdlib>
 #include <filesystem>
 #include <iostream>
@@ -21,11 +22,35 @@
 #include "nn/metrics.h"
 #include "nn/serialize.h"
 #include "nn/vgg.h"
+#include "util/cli.h"
 #include "util/env.h"
 #include "util/logging.h"
 #include "util/table.h"
 
 namespace ttfs::bench {
+
+// Process-wide --json switch. When enabled, every emit()ted table is also
+// written as BENCH_<title>.json in the working directory (CI uploads the
+// BENCH_*.json glob as per-commit perf artifacts).
+inline bool& json_mode() {
+  static bool enabled = false;
+  return enabled;
+}
+
+// Call at the top of every bench main: parses the shared flags (--json).
+inline void init(int argc, char** argv) {
+  const CliArgs args{argc, argv};
+  json_mode() = args.get_flag("json");
+}
+
+// Filesystem-safe slug of a table title.
+inline std::string slug(const std::string& title) {
+  std::string file = title;
+  for (char& c : file) {
+    if (std::isalnum(static_cast<unsigned char>(c)) == 0) c = '_';
+  }
+  return file;
+}
 
 struct DatasetCase {
   std::string paper_name;  // what the paper's table row says
@@ -105,14 +130,18 @@ inline double snn_accuracy(const snn::SnnNetwork& net, const data::LabeledData& 
       data::make_batches(test, 64, nullptr));
 }
 
-// Prints the table and also saves it under artifacts/csv/<title>.csv.
+// Prints the table, saves it under artifacts/csv/<title>.csv, and — when
+// --json was passed (see init) — writes machine-readable BENCH_<title>.json
+// next to the invocation for CI artifact upload.
 inline void emit(const Table& table) {
   table.print(std::cout);
-  std::string file = table.title();
-  for (char& c : file) {
-    if (!(std::isalnum(static_cast<unsigned char>(c)) != 0)) c = '_';
-  }
+  const std::string file = slug(table.title());
   table.save_csv(artifacts_dir() + "/csv/" + file + ".csv");
+  if (json_mode()) {
+    const std::string path = "BENCH_" + file + ".json";
+    table.save_json(path);
+    std::cout << "json written to " << path << "\n";
+  }
 }
 
 inline void print_scale_banner(const std::string& bench) {

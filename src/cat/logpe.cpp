@@ -19,13 +19,15 @@ LogPe::LogPe(LogPeConfig config) : config_{config} {
 }
 
 std::int32_t LogPe::weight_exponent_code(int q) const {
-  // q is in units of 2^-z; convert to units of 2^-f (f >= z).
-  return static_cast<std::int32_t>(q) << (config_.frac_bits() - config_.z);
+  // q is in units of 2^-z; convert to units of 2^-f (f >= z). Multiply
+  // instead of shifting: q may be negative and left-shifting a negative
+  // value is undefined before C++20.
+  return static_cast<std::int32_t>(q) * (std::int32_t{1} << (config_.frac_bits() - config_.z));
 }
 
 std::int32_t LogPe::spike_exponent_code(int step) const {
   // Spike exponent is -step / 2^p in log2 domain -> -step * 2^(f-p) in 2^-f.
-  return -static_cast<std::int32_t>(step) << (config_.frac_bits() - config_.p);
+  return -static_cast<std::int32_t>(step) * (std::int32_t{1} << (config_.frac_bits() - config_.p));
 }
 
 double lut_shift_product(const LogPeConfig& config, int sign, std::int32_t exponent_code) {

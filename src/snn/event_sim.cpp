@@ -19,28 +19,24 @@ std::int64_t EventTrace::total_integration_ops() const {
   return n;
 }
 
-// Fire phase: walk timesteps, emit ready neurons in priority order.
-// Implements the encoder loop of Sec. 4: "the encoding timestep increases by
-// 1 [when] all Vmems are smaller than the current threshold", one spike per
-// cycle through the priority encoder, fired neurons reset to zero.
-LayerEventTrace fire_phase(const Base2Kernel& kernel, const std::vector<double>& vmem) {
-  LayerEventTrace trace;
-  trace.neuron_count = static_cast<std::int64_t>(vmem.size());
-  // Hardware scans one threshold per timestep; fire_step gives the identical
-  // result in O(1) per neuron, so collect then sort by (step, neuron).
-  for (std::int32_t i = 0; i < static_cast<std::int32_t>(vmem.size()); ++i) {
-    const int k = kernel.fire_step(vmem[static_cast<std::size_t>(i)]);
-    if (k != kNoSpike) trace.spikes.push_back({i, k});
-  }
-  std::stable_sort(trace.spikes.begin(), trace.spikes.end(),
-                   [](const Spike& a, const Spike& b) {
-                     return a.step != b.step ? a.step < b.step : a.neuron < b.neuron;
-                   });
-  // One cycle per scanned timestep plus one per serialized spike. The scan
-  // stops early once every membrane has fired or dropped below the last
-  // threshold — model the full window bound conservatively.
-  trace.encoder_cycles = kernel.window() + static_cast<std::int64_t>(trace.spikes.size());
-  return trace;
+float* SimArena::acc(std::int64_t n) {
+  if (acc_.size() < static_cast<std::size_t>(n)) acc_.resize(static_cast<std::size_t>(n));
+  return acc_.data();
+}
+
+int* SimArena::steps(std::int64_t n) {
+  if (steps_.size() < static_cast<std::size_t>(n)) steps_.resize(static_cast<std::size_t>(n));
+  return steps_.data();
+}
+
+int* SimArena::grid(std::int64_t n) {
+  if (grid_.size() < static_cast<std::size_t>(n)) grid_.resize(static_cast<std::size_t>(n));
+  return grid_.data();
+}
+
+std::int64_t* SimArena::counts(std::int64_t n) {
+  if (counts_.size() < static_cast<std::size_t>(n)) counts_.resize(static_cast<std::size_t>(n));
+  return counts_.data();
 }
 
 namespace {
@@ -50,64 +46,145 @@ struct Shape3 {
   std::int64_t numel() const { return c * h * w; }
 };
 
-}  // namespace
+// Scatters the fire steps recorded in `steps` (CHW neuron order, kNoSpike for
+// silent neurons) into `out.spikes` via the per-timestep histogram in
+// `counts`: offsets are the exclusive prefix sum, and scanning neurons in
+// ascending order fills each bucket in priority order. The concatenated
+// buckets are exactly the (step, neuron)-sorted emission sequence, with no
+// comparison sort.
+void scatter_buckets(const int* steps, std::int64_t n, std::int64_t* counts, int window,
+                     LayerEventTrace& out) {
+  std::int64_t total = 0;
+  for (int t = 0; t < window; ++t) {
+    const std::int64_t c = counts[t];
+    counts[t] = total;
+    total += c;
+  }
+  out.spikes.resize(static_cast<std::size_t>(total));
+  for (std::int64_t i = 0; i < n; ++i) {
+    const int k = steps[i];
+    if (k == kNoSpike) continue;
+    out.spikes[static_cast<std::size_t>(counts[k]++)] = {static_cast<std::int32_t>(i),
+                                                         static_cast<std::int32_t>(k)};
+  }
+  out.neuron_count = n;
+  out.encoder_cycles = window + total;
+}
 
-EventTrace run_event_sim(const SnnNetwork& net, const Tensor& image) {
-  TTFS_CHECK(image.rank() == 3);
-  const Base2Kernel& kernel = net.kernel();
+// Fire phase over a dense membrane span in CHW (= neuron) order. Implements
+// the encoder loop of Sec. 4 — one threshold per timestep, ready neurons
+// serialized through a priority encoder — by binning neurons into timestep
+// buckets directly (see scatter_buckets).
+template <typename T>
+void fire_dense(const ThresholdLut& lut, const T* vmem, std::int64_t n, SimArena& arena,
+                LayerEventTrace& out) {
+  const int window = lut.window();
+  int* steps = arena.steps(n);
+  std::int64_t* counts = arena.counts(window);
+  std::fill(counts, counts + window, 0);
+  for (std::int64_t i = 0; i < n; ++i) {
+    const int k = lut.fire_step(static_cast<double>(vmem[i]));
+    steps[i] = k;
+    if (k != kNoSpike) ++counts[k];
+  }
+  scatter_buckets(steps, n, counts, window, out);
+}
+
+// Fire phase over the conv integration accumulator, which is stored HWC
+// (pixel-major) so integration streams contiguously; neurons are walked in
+// CHW priority order through a strided read.
+void fire_hwc(const ThresholdLut& lut, const float* acc, std::int64_t cout, std::int64_t pixels,
+              SimArena& arena, LayerEventTrace& out) {
+  const int window = lut.window();
+  const std::int64_t n = cout * pixels;
+  int* steps = arena.steps(n);
+  std::int64_t* counts = arena.counts(window);
+  std::fill(counts, counts + window, 0);
+  for (std::int64_t co = 0; co < cout; ++co) {
+    int* row = steps + co * pixels;
+    for (std::int64_t p = 0; p < pixels; ++p) {
+      const int k = lut.fire_step(static_cast<double>(acc[p * cout + co]));
+      row[p] = k;
+      if (k != kNoSpike) ++counts[k];
+    }
+  }
+  scatter_buckets(steps, n, counts, window, out);
+}
+
+// Core single-sample simulation over a raw (C, H, W) image span. All scratch
+// comes from `arena`; only the returned trace allocates.
+EventTrace run_event_sim_view(const SnnNetwork& net, const float* image, Shape3 cur,
+                              SimArena& arena) {
+  net.ensure_packed();
+  const ThresholdLut& lut = net.threshold_lut();
   EventTrace trace;
+  trace.layers.reserve(net.layers().size() + 1);
 
   // --- Input encoding window ---
-  std::vector<double> pixel(static_cast<std::size_t>(image.numel()));
-  for (std::int64_t i = 0; i < image.numel(); ++i) pixel[static_cast<std::size_t>(i)] = image[i];
-  trace.layers.push_back(fire_phase(kernel, pixel));
-
-  Shape3 cur{image.dim(0), image.dim(1), image.dim(2)};
+  {
+    LayerEventTrace lt;
+    fire_dense(lut, image, cur.numel(), arena, lt);
+    trace.layers.push_back(std::move(lt));
+  }
   const std::vector<Spike>* in_spikes = &trace.layers.back().spikes;
-  bool flattened = false;
 
   const std::size_t weighted = net.weighted_layer_count();
+  const std::vector<PackedLayer>& packs = net.packed_layers();
   std::size_t weighted_seen = 0;
 
-  for (const auto& layer : net.layers()) {
+  for (std::size_t li = 0; li < net.layers().size(); ++li) {
+    const SnnLayer& layer = net.layers()[li];
     if (const auto* conv = std::get_if<SnnConv>(&layer)) {
-      const std::int64_t cout = conv->weight.dim(0);
-      const std::int64_t kh = conv->weight.dim(2);
-      const std::int64_t kw = conv->weight.dim(3);
+      const PackedConv& pw = std::get<PackedConv>(packs[li]);
+      const std::int64_t cout = pw.cout;
+      const std::int64_t kh = pw.kh;
+      const std::int64_t kw = pw.kw;
       const std::int64_t oh = (cur.h + 2 * conv->pad - kh) / conv->stride + 1;
       const std::int64_t ow = (cur.w + 2 * conv->pad - kw) / conv->stride + 1;
-      TTFS_CHECK(conv->weight.dim(1) == cur.c && oh > 0 && ow > 0);
+      TTFS_CHECK(pw.cin == cur.c && oh > 0 && ow > 0);
 
-      std::vector<float> vmem(static_cast<std::size_t>(cout * oh * ow), 0.0F);
+      // HWC accumulator: element (yo, xo, co) at acc[(yo*ow + xo)*cout + co],
+      // so both the weight slot and the membrane update are contiguous
+      // streams of cout floats per (ky, kx) tap.
+      float* acc = arena.acc(cout * oh * ow);
       if (!conv->bias.empty()) {
-        for (std::int64_t co = 0; co < cout; ++co) {
-          for (std::int64_t i = 0; i < oh * ow; ++i) {
-            vmem[static_cast<std::size_t>(co * oh * ow + i)] = conv->bias[co];
+        for (std::int64_t p = 0; p < oh * ow; ++p) {
+          for (std::int64_t co = 0; co < cout; ++co) {
+            acc[p * cout + co] = conv->bias[co];
           }
         }
+      } else {
+        std::fill(acc, acc + cout * oh * ow, 0.0F);
       }
+
       std::int64_t ops = 0;
-      // Integration: scatter each input spike into every output whose
-      // receptive field contains it.
-      for (const Spike& s : *in_spikes) {
-        const double value = kernel.level(s.step);
-        const std::int64_t ci = s.neuron / (cur.h * cur.w);
-        const std::int64_t yi = (s.neuron / cur.w) % cur.h;
-        const std::int64_t xi = s.neuron % cur.w;
-        for (std::int64_t ky = 0; ky < kh; ++ky) {
-          const std::int64_t ynum = yi + conv->pad - ky;
-          if (ynum < 0 || ynum % conv->stride != 0) continue;
-          const std::int64_t yo = ynum / conv->stride;
-          if (yo >= oh) continue;
-          for (std::int64_t kx = 0; kx < kw; ++kx) {
-            const std::int64_t xnum = xi + conv->pad - kx;
-            if (xnum < 0 || xnum % conv->stride != 0) continue;
-            const std::int64_t xo = xnum / conv->stride;
-            if (xo >= ow) continue;
-            for (std::int64_t co = 0; co < cout; ++co) {
-              vmem[static_cast<std::size_t>((co * oh + yo) * ow + xo)] +=
-                  conv->weight.at(co, ci, ky, kx) * static_cast<float>(value);
-              ++ops;
+      // Integration: spikes arrive (step, neuron)-sorted, so consume them one
+      // timestep group at a time — the level lookup happens once per step,
+      // like the hardware presenting one threshold per cycle.
+      const std::vector<Spike>& spikes = *in_spikes;
+      for (std::size_t si = 0; si < spikes.size();) {
+        const int step = spikes[si].step;
+        const float value = static_cast<float>(lut.level(step));
+        for (; si < spikes.size() && spikes[si].step == step; ++si) {
+          const Spike& s = spikes[si];
+          const std::int64_t ci = s.neuron / (cur.h * cur.w);
+          const std::int64_t yi = (s.neuron / cur.w) % cur.h;
+          const std::int64_t xi = s.neuron % cur.w;
+          const float* wslots = pw.w.data() + ci * kh * kw * cout;
+          for (std::int64_t ky = 0; ky < kh; ++ky) {
+            const std::int64_t ynum = yi + conv->pad - ky;
+            if (ynum < 0 || ynum % conv->stride != 0) continue;
+            const std::int64_t yo = ynum / conv->stride;
+            if (yo >= oh) continue;
+            for (std::int64_t kx = 0; kx < kw; ++kx) {
+              const std::int64_t xnum = xi + conv->pad - kx;
+              if (xnum < 0 || xnum % conv->stride != 0) continue;
+              const std::int64_t xo = xnum / conv->stride;
+              if (xo >= ow) continue;
+              const float* w = wslots + (ky * kw + kx) * cout;
+              float* out = acc + (yo * ow + xo) * cout;
+              for (std::int64_t co = 0; co < cout; ++co) out[co] += w[co] * value;
+              ops += cout;
             }
           }
         }
@@ -115,45 +192,54 @@ EventTrace run_event_sim(const SnnNetwork& net, const Tensor& image) {
 
       ++weighted_seen;
       if (weighted_seen == weighted) {
+        // Logits are reported CHW like the canonical simulator.
         trace.logits = Tensor{{1, cout * oh * ow}};
-        for (std::int64_t i = 0; i < trace.logits.numel(); ++i) {
-          trace.logits[i] = vmem[static_cast<std::size_t>(i)];
+        float* lo = trace.logits.data();
+        for (std::int64_t co = 0; co < cout; ++co) {
+          for (std::int64_t p = 0; p < oh * ow; ++p) lo[co * oh * ow + p] = acc[p * cout + co];
         }
         return trace;
       }
-      LayerEventTrace lt = fire_phase(kernel, std::vector<double>(vmem.begin(), vmem.end()));
+      LayerEventTrace lt;
+      fire_hwc(lut, acc, cout, oh * ow, arena, lt);
       lt.integration_ops = ops;
       trace.layers.push_back(std::move(lt));
       in_spikes = &trace.layers.back().spikes;
       cur = {cout, oh, ow};
     } else if (const auto* fc = std::get_if<SnnFc>(&layer)) {
-      const std::int64_t in_features = flattened ? cur.numel() : cur.numel();
-      const std::int64_t out = fc->weight.dim(0);
-      TTFS_CHECK(fc->weight.dim(1) == in_features);
-      flattened = true;
+      const PackedFc& pw = std::get<PackedFc>(packs[li]);
+      const std::int64_t out = pw.out;
+      TTFS_CHECK(pw.in == cur.numel());
 
-      std::vector<float> vmem(static_cast<std::size_t>(out), 0.0F);
+      float* acc = arena.acc(out);
       if (!fc->bias.empty()) {
-        for (std::int64_t j = 0; j < out; ++j) vmem[static_cast<std::size_t>(j)] = fc->bias[j];
+        for (std::int64_t j = 0; j < out; ++j) acc[j] = fc->bias[j];
+      } else {
+        std::fill(acc, acc + out, 0.0F);
       }
+
       std::int64_t ops = 0;
-      for (const Spike& s : *in_spikes) {
-        const float value = static_cast<float>(kernel.level(s.step));
-        for (std::int64_t j = 0; j < out; ++j) {
-          vmem[static_cast<std::size_t>(j)] += fc->weight.at(j, s.neuron) * value;
-          ++ops;
+      const std::vector<Spike>& spikes = *in_spikes;
+      for (std::size_t si = 0; si < spikes.size();) {
+        const int step = spikes[si].step;
+        const float value = static_cast<float>(lut.level(step));
+        for (; si < spikes.size() && spikes[si].step == step; ++si) {
+          // Column-major pack: the spiking input's whole weight column is one
+          // contiguous vector-add.
+          const float* w = pw.w.data() + static_cast<std::int64_t>(spikes[si].neuron) * out;
+          for (std::int64_t j = 0; j < out; ++j) acc[j] += w[j] * value;
+          ops += out;
         }
       }
 
       ++weighted_seen;
       if (weighted_seen == weighted) {
         trace.logits = Tensor{{1, out}};
-        for (std::int64_t j = 0; j < out; ++j) {
-          trace.logits[j] = vmem[static_cast<std::size_t>(j)];
-        }
+        std::copy(acc, acc + out, trace.logits.data());
         return trace;
       }
-      LayerEventTrace lt = fire_phase(kernel, std::vector<double>(vmem.begin(), vmem.end()));
+      LayerEventTrace lt;
+      fire_dense(lut, acc, out, arena, lt);
       lt.integration_ops = ops;
       trace.layers.push_back(std::move(lt));
       in_spikes = &trace.layers.back().spikes;
@@ -166,11 +252,17 @@ EventTrace run_event_sim(const SnnNetwork& net, const Tensor& image) {
 
       // Earliest-spike-wins pooling: pass through the minimum fire step of
       // each window. Build a step grid from the incoming spikes first.
-      std::vector<int> steps(static_cast<std::size_t>(cur.numel()), kNoSpike);
-      for (const Spike& s : *in_spikes) steps[static_cast<std::size_t>(s.neuron)] = s.step;
+      int* grid = arena.grid(cur.numel());
+      std::fill(grid, grid + cur.numel(), kNoSpike);
+      for (const Spike& s : *in_spikes) grid[s.neuron] = s.step;
 
-      LayerEventTrace lt;
-      lt.neuron_count = cur.c * oh * ow;
+      // Output steps in CHW order, then bucket like a fire phase (minus the
+      // encoder-cycle cost: pooling is free in the spike domain).
+      const std::int64_t out_n = cur.c * oh * ow;
+      const int window = lut.window();
+      int* steps = arena.steps(out_n);
+      std::int64_t* counts = arena.counts(window);
+      std::fill(counts, counts + window, 0);
       for (std::int64_t c = 0; c < cur.c; ++c) {
         for (std::int64_t oy = 0; oy < oh; ++oy) {
           for (std::int64_t ox = 0; ox < ow; ++ox) {
@@ -179,20 +271,18 @@ EventTrace run_event_sim(const SnnNetwork& net, const Tensor& image) {
               for (std::int64_t kx = 0; kx < pool.kernel; ++kx) {
                 const std::int64_t iy = oy * pool.stride + ky;
                 const std::int64_t ix = ox * pool.stride + kx;
-                const int s = steps[static_cast<std::size_t>((c * cur.h + iy) * cur.w + ix)];
+                const int s = grid[(c * cur.h + iy) * cur.w + ix];
                 if (s != kNoSpike && (best == kNoSpike || s < best)) best = s;
               }
             }
-            if (best != kNoSpike) {
-              lt.spikes.push_back(
-                  {static_cast<std::int32_t>((c * oh + oy) * ow + ox), best});
-            }
+            steps[(c * oh + oy) * ow + ox] = best;
+            if (best != kNoSpike) ++counts[best];
           }
         }
       }
-      std::stable_sort(lt.spikes.begin(), lt.spikes.end(), [](const Spike& a, const Spike& b) {
-        return a.step != b.step ? a.step < b.step : a.neuron < b.neuron;
-      });
+      LayerEventTrace lt;
+      scatter_buckets(steps, out_n, counts, window, lt);
+      lt.encoder_cycles = 0;  // pools reshuffle spikes, no encoder pass
       trace.layers.push_back(std::move(lt));
       in_spikes = &trace.layers.back().spikes;
       cur = {cur.c, oh, ow};
@@ -200,6 +290,27 @@ EventTrace run_event_sim(const SnnNetwork& net, const Tensor& image) {
   }
   TTFS_CHECK_MSG(false, "SNN has no output layer");
   return trace;
+}
+
+}  // namespace
+
+LayerEventTrace fire_phase(const Base2Kernel& kernel, const std::vector<double>& vmem) {
+  const ThresholdLut lut{kernel};
+  SimArena arena;
+  LayerEventTrace out;
+  fire_dense(lut, vmem.data(), static_cast<std::int64_t>(vmem.size()), arena, out);
+  return out;
+}
+
+EventTrace run_event_sim(const SnnNetwork& net, const Tensor& image, SimArena& arena) {
+  TTFS_CHECK(image.rank() == 3);
+  return run_event_sim_view(net, image.data(), {image.dim(0), image.dim(1), image.dim(2)},
+                            arena);
+}
+
+EventTrace run_event_sim(const SnnNetwork& net, const Tensor& image) {
+  SimArena arena;
+  return run_event_sim(net, image, arena);
 }
 
 std::int64_t BatchEventResult::total_spikes() const {
@@ -214,19 +325,57 @@ std::int64_t BatchEventResult::total_integration_ops() const {
   return n;
 }
 
+void SimArena::reserve_for(const SnnNetwork& net, std::int64_t c, std::int64_t h,
+                           std::int64_t w) {
+  Shape3 cur{c, h, w};
+  std::int64_t max_acc = 0;
+  std::int64_t max_steps = cur.numel();
+  std::int64_t max_grid = 0;
+  for (const auto& layer : net.layers()) {
+    if (const auto* conv = std::get_if<SnnConv>(&layer)) {
+      const std::int64_t oh = (cur.h + 2 * conv->pad - conv->weight.dim(2)) / conv->stride + 1;
+      const std::int64_t ow = (cur.w + 2 * conv->pad - conv->weight.dim(3)) / conv->stride + 1;
+      cur = {conv->weight.dim(0), oh, ow};
+      max_acc = std::max(max_acc, cur.numel());
+    } else if (const auto* fc = std::get_if<SnnFc>(&layer)) {
+      cur = {fc->weight.dim(0), 1, 1};
+      max_acc = std::max(max_acc, cur.numel());
+    } else {
+      const auto& pool = std::get<SnnPool>(layer);
+      max_grid = std::max(max_grid, cur.numel());
+      cur = {cur.c, (cur.h - pool.kernel) / pool.stride + 1,
+             (cur.w - pool.kernel) / pool.stride + 1};
+    }
+    max_steps = std::max(max_steps, cur.numel());
+  }
+  (void)acc(max_acc);
+  (void)steps(max_steps);
+  (void)grid(max_grid);
+  (void)counts(net.kernel().window());
+}
+
 BatchEventResult run_event_sim_batch(const SnnNetwork& net, const Tensor& nchw,
                                      ThreadPool* pool) {
   TTFS_CHECK(nchw.rank() == 4);
   const std::int64_t n = nchw.dim(0);
+  const Shape3 sample{nchw.dim(1), nchw.dim(2), nchw.dim(3)};
+  net.ensure_packed();  // single-threaded point: workers only read the pack
 
   BatchEventResult out;
   out.traces.resize(static_cast<std::size_t>(n));
   ThreadPool& workers = pool != nullptr ? *pool : global_pool();
-  workers.parallel_for(0, n, [&](std::int64_t lo, std::int64_t hi) {
+
+  // One pre-reserved arena per pool chunk: every worker reuses its own
+  // scratch across its whole sample range, so the per-sample loop performs no
+  // steady-state allocation (the returned traces are the only allocations).
+  std::vector<SimArena> arenas(workers.max_chunks(0, n));
+  for (auto& arena : arenas) arena.reserve_for(net, sample.c, sample.h, sample.w);
+  const float* data = nchw.data();
+  workers.parallel_for_indexed(0, n, [&](std::size_t chunk, std::int64_t lo, std::int64_t hi) {
+    SimArena& arena = arenas[chunk];
     for (std::int64_t i = lo; i < hi; ++i) {
-      // Worker-local copy of the sample; all membrane/spike state lives
-      // inside run_event_sim, so samples never contend.
-      out.traces[static_cast<std::size_t>(i)] = run_event_sim(net, nchw.sample0(i));
+      out.traces[static_cast<std::size_t>(i)] =
+          run_event_sim_view(net, data + i * sample.numel(), sample, arena);
     }
   });
 

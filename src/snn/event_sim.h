@@ -11,6 +11,21 @@
 //     priority encoder, one spike per cycle (Sec. 4's spike encoder).
 // Its spike maps must match SnnNetwork::trace() exactly (tested); its cycle
 // and op counts feed the hardware model.
+//
+// Hot-path layout (the overhaul; the original scalar implementation is
+// preserved in event_sim_reference.h and the two are asserted bit-identical):
+//   * integration reads the network's packed weights (network.h) — conv
+//     slot-major/cout-contiguous, fc column-major — and accumulates into an
+//     HWC-ordered membrane so every synaptic batch is a contiguous
+//     vector-add; spikes are consumed timestep-group by timestep-group so the
+//     kernel level is looked up once per step, mirroring the minfind unit;
+//   * the fire phase bins spikes into per-timestep buckets (a counting sort
+//     over the kernel window) instead of sorting after the fact — neurons are
+//     scanned in priority order, so bucket concatenation *is* the hardware's
+//     (step, neuron) emission order;
+//   * all scratch (membrane accumulator, step grids, bucket histogram) lives
+//     in a caller-provided SimArena, so steady-state batch inference
+//     allocates nothing beyond the returned traces.
 #pragma once
 
 #include <cstdint>
@@ -47,7 +62,37 @@ struct EventTrace {
   std::int64_t total_integration_ops() const;
 };
 
-// Runs one image (C, H, W) through `net` event by event.
+// Reusable per-worker scratch for run_event_sim. Buffers grow to the largest
+// layer they ever see and are then reused sample after sample, so a worker
+// that keeps its arena across a batch does zero steady-state allocation.
+// An arena is plain scratch: it carries no results between samples and may be
+// handed networks of different shapes. Not thread-safe — one arena per
+// concurrent caller (run_event_sim_batch keeps one per pool chunk).
+class SimArena {
+ public:
+  SimArena() = default;
+
+  // Pre-sizes every buffer for running `net` on (c, h, w) inputs by walking
+  // the layer shapes, so not even the first sample allocates.
+  void reserve_for(const SnnNetwork& net, std::int64_t c, std::int64_t h, std::int64_t w);
+
+  // Grow-only scratch accessors (contents unspecified). Internal to the
+  // simulator; exposed so the free-function hot loops can use them.
+  float* acc(std::int64_t n);            // membrane accumulator (HWC for conv)
+  int* steps(std::int64_t n);            // per-neuron fire step, CHW order
+  int* grid(std::int64_t n);             // pooling input step grid, CHW order
+  std::int64_t* counts(std::int64_t n);  // per-timestep spike histogram
+
+ private:
+  std::vector<float> acc_;
+  std::vector<int> steps_;
+  std::vector<int> grid_;
+  std::vector<std::int64_t> counts_;
+};
+
+// Runs one image (C, H, W) through `net` event by event, using `arena` for
+// all scratch. The overload without an arena keeps a sample-local one.
+EventTrace run_event_sim(const SnnNetwork& net, const Tensor& image, SimArena& arena);
 EventTrace run_event_sim(const SnnNetwork& net, const Tensor& image);
 
 // Result of a batched event simulation. Traces are indexed by sample in input
@@ -63,9 +108,9 @@ struct BatchEventResult {
 };
 
 // Runs a batch (N, C, H, W) through `net`, fanning samples out across `pool`
-// (global_pool() when null; a 0-thread pool runs inline). Each sample carries
-// its own membrane/spike buffers inside run_event_sim, so workers share
-// nothing but the read-only network.
+// (global_pool() when null; a 0-thread pool runs inline). Each pool chunk
+// owns one pre-reserved SimArena, so workers share nothing but the read-only
+// network and allocate nothing per sample.
 BatchEventResult run_event_sim_batch(const SnnNetwork& net, const Tensor& nchw,
                                      ThreadPool* pool = nullptr);
 

@@ -1,0 +1,193 @@
+// The pre-overhaul simulator, verbatim except for the fix of a dead
+// conditional in the FC in-feature computation. See event_sim_reference.h for
+// why this file must stay slow.
+#include "snn/event_sim_reference.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace ttfs::snn::reference {
+
+// Fire phase: walk timesteps, emit ready neurons in priority order.
+// Implements the encoder loop of Sec. 4: "the encoding timestep increases by
+// 1 [when] all Vmems are smaller than the current threshold", one spike per
+// cycle through the priority encoder, fired neurons reset to zero.
+LayerEventTrace fire_phase(const Base2Kernel& kernel, const std::vector<double>& vmem) {
+  LayerEventTrace trace;
+  trace.neuron_count = static_cast<std::int64_t>(vmem.size());
+  // Hardware scans one threshold per timestep; fire_step gives the identical
+  // result in O(1) per neuron, so collect then sort by (step, neuron).
+  for (std::int32_t i = 0; i < static_cast<std::int32_t>(vmem.size()); ++i) {
+    const int k = kernel.fire_step(vmem[static_cast<std::size_t>(i)]);
+    if (k != kNoSpike) trace.spikes.push_back({i, k});
+  }
+  std::stable_sort(trace.spikes.begin(), trace.spikes.end(),
+                   [](const Spike& a, const Spike& b) {
+                     return a.step != b.step ? a.step < b.step : a.neuron < b.neuron;
+                   });
+  // One cycle per scanned timestep plus one per serialized spike. The scan
+  // stops early once every membrane has fired or dropped below the last
+  // threshold — model the full window bound conservatively.
+  trace.encoder_cycles = kernel.window() + static_cast<std::int64_t>(trace.spikes.size());
+  return trace;
+}
+
+namespace {
+
+struct Shape3 {
+  std::int64_t c = 0, h = 0, w = 0;
+  std::int64_t numel() const { return c * h * w; }
+};
+
+}  // namespace
+
+EventTrace run_event_sim(const SnnNetwork& net, const Tensor& image) {
+  TTFS_CHECK(image.rank() == 3);
+  const Base2Kernel& kernel = net.kernel();
+  EventTrace trace;
+
+  // --- Input encoding window ---
+  std::vector<double> pixel(static_cast<std::size_t>(image.numel()));
+  for (std::int64_t i = 0; i < image.numel(); ++i) pixel[static_cast<std::size_t>(i)] = image[i];
+  trace.layers.push_back(reference::fire_phase(kernel, pixel));
+
+  Shape3 cur{image.dim(0), image.dim(1), image.dim(2)};
+  const std::vector<Spike>* in_spikes = &trace.layers.back().spikes;
+
+  const std::size_t weighted = net.weighted_layer_count();
+  std::size_t weighted_seen = 0;
+
+  for (const auto& layer : net.layers()) {
+    if (const auto* conv = std::get_if<SnnConv>(&layer)) {
+      const std::int64_t cout = conv->weight.dim(0);
+      const std::int64_t kh = conv->weight.dim(2);
+      const std::int64_t kw = conv->weight.dim(3);
+      const std::int64_t oh = (cur.h + 2 * conv->pad - kh) / conv->stride + 1;
+      const std::int64_t ow = (cur.w + 2 * conv->pad - kw) / conv->stride + 1;
+      TTFS_CHECK(conv->weight.dim(1) == cur.c && oh > 0 && ow > 0);
+
+      std::vector<float> vmem(static_cast<std::size_t>(cout * oh * ow), 0.0F);
+      if (!conv->bias.empty()) {
+        for (std::int64_t co = 0; co < cout; ++co) {
+          for (std::int64_t i = 0; i < oh * ow; ++i) {
+            vmem[static_cast<std::size_t>(co * oh * ow + i)] = conv->bias[co];
+          }
+        }
+      }
+      std::int64_t ops = 0;
+      // Integration: scatter each input spike into every output whose
+      // receptive field contains it.
+      for (const Spike& s : *in_spikes) {
+        const double value = kernel.level(s.step);
+        const std::int64_t ci = s.neuron / (cur.h * cur.w);
+        const std::int64_t yi = (s.neuron / cur.w) % cur.h;
+        const std::int64_t xi = s.neuron % cur.w;
+        for (std::int64_t ky = 0; ky < kh; ++ky) {
+          const std::int64_t ynum = yi + conv->pad - ky;
+          if (ynum < 0 || ynum % conv->stride != 0) continue;
+          const std::int64_t yo = ynum / conv->stride;
+          if (yo >= oh) continue;
+          for (std::int64_t kx = 0; kx < kw; ++kx) {
+            const std::int64_t xnum = xi + conv->pad - kx;
+            if (xnum < 0 || xnum % conv->stride != 0) continue;
+            const std::int64_t xo = xnum / conv->stride;
+            if (xo >= ow) continue;
+            for (std::int64_t co = 0; co < cout; ++co) {
+              vmem[static_cast<std::size_t>((co * oh + yo) * ow + xo)] +=
+                  conv->weight.at(co, ci, ky, kx) * static_cast<float>(value);
+              ++ops;
+            }
+          }
+        }
+      }
+
+      ++weighted_seen;
+      if (weighted_seen == weighted) {
+        trace.logits = Tensor{{1, cout * oh * ow}};
+        for (std::int64_t i = 0; i < trace.logits.numel(); ++i) {
+          trace.logits[i] = vmem[static_cast<std::size_t>(i)];
+        }
+        return trace;
+      }
+      LayerEventTrace lt = reference::fire_phase(kernel, std::vector<double>(vmem.begin(), vmem.end()));
+      lt.integration_ops = ops;
+      trace.layers.push_back(std::move(lt));
+      in_spikes = &trace.layers.back().spikes;
+      cur = {cout, oh, ow};
+    } else if (const auto* fc = std::get_if<SnnFc>(&layer)) {
+      const std::int64_t in_features = cur.numel();
+      const std::int64_t out = fc->weight.dim(0);
+      TTFS_CHECK(fc->weight.dim(1) == in_features);
+
+      std::vector<float> vmem(static_cast<std::size_t>(out), 0.0F);
+      if (!fc->bias.empty()) {
+        for (std::int64_t j = 0; j < out; ++j) vmem[static_cast<std::size_t>(j)] = fc->bias[j];
+      }
+      std::int64_t ops = 0;
+      for (const Spike& s : *in_spikes) {
+        const float value = static_cast<float>(kernel.level(s.step));
+        for (std::int64_t j = 0; j < out; ++j) {
+          vmem[static_cast<std::size_t>(j)] += fc->weight.at(j, s.neuron) * value;
+          ++ops;
+        }
+      }
+
+      ++weighted_seen;
+      if (weighted_seen == weighted) {
+        trace.logits = Tensor{{1, out}};
+        for (std::int64_t j = 0; j < out; ++j) {
+          trace.logits[j] = vmem[static_cast<std::size_t>(j)];
+        }
+        return trace;
+      }
+      LayerEventTrace lt = reference::fire_phase(kernel, std::vector<double>(vmem.begin(), vmem.end()));
+      lt.integration_ops = ops;
+      trace.layers.push_back(std::move(lt));
+      in_spikes = &trace.layers.back().spikes;
+      cur = {out, 1, 1};
+    } else {
+      const auto& pool = std::get<SnnPool>(layer);
+      const std::int64_t oh = (cur.h - pool.kernel) / pool.stride + 1;
+      const std::int64_t ow = (cur.w - pool.kernel) / pool.stride + 1;
+      TTFS_CHECK(oh > 0 && ow > 0);
+
+      // Earliest-spike-wins pooling: pass through the minimum fire step of
+      // each window. Build a step grid from the incoming spikes first.
+      std::vector<int> steps(static_cast<std::size_t>(cur.numel()), kNoSpike);
+      for (const Spike& s : *in_spikes) steps[static_cast<std::size_t>(s.neuron)] = s.step;
+
+      LayerEventTrace lt;
+      lt.neuron_count = cur.c * oh * ow;
+      for (std::int64_t c = 0; c < cur.c; ++c) {
+        for (std::int64_t oy = 0; oy < oh; ++oy) {
+          for (std::int64_t ox = 0; ox < ow; ++ox) {
+            int best = kNoSpike;
+            for (std::int64_t ky = 0; ky < pool.kernel; ++ky) {
+              for (std::int64_t kx = 0; kx < pool.kernel; ++kx) {
+                const std::int64_t iy = oy * pool.stride + ky;
+                const std::int64_t ix = ox * pool.stride + kx;
+                const int s = steps[static_cast<std::size_t>((c * cur.h + iy) * cur.w + ix)];
+                if (s != kNoSpike && (best == kNoSpike || s < best)) best = s;
+              }
+            }
+            if (best != kNoSpike) {
+              lt.spikes.push_back(
+                  {static_cast<std::int32_t>((c * oh + oy) * ow + ox), best});
+            }
+          }
+        }
+      }
+      std::stable_sort(lt.spikes.begin(), lt.spikes.end(), [](const Spike& a, const Spike& b) {
+        return a.step != b.step ? a.step < b.step : a.neuron < b.neuron;
+      });
+      trace.layers.push_back(std::move(lt));
+      in_spikes = &trace.layers.back().spikes;
+      cur = {cur.c, oh, ow};
+    }
+  }
+  TTFS_CHECK_MSG(false, "SNN has no output layer");
+  return trace;
+}
+
+}  // namespace ttfs::snn::reference

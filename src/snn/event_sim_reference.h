@@ -1,0 +1,25 @@
+// Frozen pre-overhaul event simulator, kept as the correctness oracle.
+//
+// This is the original scalar implementation of run_event_sim/fire_phase:
+// strided weight gathers straight off the canonical (Cout, Cin, k, k) and
+// (out, in) tensors, per-layer membrane/spike buffers allocated on the fly,
+// and a stable_sort after each fire phase. It is deliberately unoptimized and
+// must never be "improved": the production simulator (event_sim.h) is
+// required to reproduce its spike maps, integration-op counts, encoder-cycle
+// counts and logits bit for bit (tests/snn_cross_validation_test.cpp), and
+// bench_event_sim_hotpath measures the overhaul's speedup against it.
+#pragma once
+
+#include "snn/event_sim.h"
+#include "snn/network.h"
+#include "tensor/tensor.h"
+
+namespace ttfs::snn::reference {
+
+// Original single-sample event simulation (one image, (C, H, W)).
+EventTrace run_event_sim(const SnnNetwork& net, const Tensor& image);
+
+// Original collect-then-stable_sort spike encoder.
+LayerEventTrace fire_phase(const Base2Kernel& kernel, const std::vector<double>& vmem);
+
+}  // namespace ttfs::snn::reference

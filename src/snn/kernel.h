@@ -10,6 +10,7 @@
 // what makes CAT's "zero representation error" claim hold bit-exactly.
 #pragma once
 
+#include <algorithm>
 #include <cmath>
 #include <cstdint>
 #include <vector>
@@ -126,6 +127,57 @@ class BaseEKernel {
   double tau_;
   double td_;
   double theta0_;
+};
+
+// Precomputed threshold LUT over one kernel's window: the descending level
+// sequence theta(0..T-1), materialized once so the per-event hot paths (the
+// simulator's integration and fire phases, T2FSNN kernel tuning) replace a
+// transcendental per call with an array read plus an O(log T) search.
+//
+// fire_step() is bit-identical to Kernel::fire_step by construction: levels
+// are float-rounded through Kernel::level, so the sequence is non-increasing
+// and the predicate "u < level(k)" is monotone in k — partition_point finds
+// the same first step the refinement loop does, ties included (asserted
+// exhaustively in tests).
+class ThresholdLut {
+ public:
+  // The step-0 short circuit differs per kernel family — Base2Kernel compares
+  // against the *unrounded* theta0, BaseEKernel against the rounded level(0) —
+  // so each constructor captures its kernel's exact boundary in top_.
+  explicit ThresholdLut(const Base2Kernel& kernel) { init(kernel, kernel.theta0()); }
+  explicit ThresholdLut(const BaseEKernel& kernel) { init(kernel, kernel.level(0)); }
+
+  int window() const { return static_cast<int>(levels_.size()); }
+  double level(int k) const { return levels_[static_cast<std::size_t>(k)]; }
+  const std::vector<double>& levels() const { return levels_; }
+
+  // First step k with u >= level(k); kNoSpike when u can't reach any level.
+  int fire_step(double u) const {
+    if (u <= 0.0 || u < levels_.back()) return kNoSpike;
+    if (u >= top_) return 0;
+    const auto it = std::partition_point(levels_.begin(), levels_.end(),
+                                         [u](double lv) { return u < lv; });
+    return static_cast<int>(it - levels_.begin());
+  }
+
+  // decode(fire_step(u)): the value the spike reconstructs, 0 when silent.
+  double quantize(double u) const {
+    const int k = fire_step(u);
+    return k == kNoSpike ? 0.0 : levels_[static_cast<std::size_t>(k)];
+  }
+
+ private:
+  template <typename Kernel>
+  void init(const Kernel& kernel, double top) {
+    levels_.resize(static_cast<std::size_t>(kernel.window()));
+    for (int k = 0; k < kernel.window(); ++k) {
+      levels_[static_cast<std::size_t>(k)] = kernel.level(k);
+    }
+    top_ = top;
+  }
+
+  std::vector<double> levels_;  // descending; size == window
+  double top_ = 0.0;            // u >= top_ always fires at step 0
 };
 
 }  // namespace ttfs::snn

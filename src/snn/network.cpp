@@ -27,17 +27,65 @@ void SnnNetwork::add_conv(Tensor weight, Tensor bias, std::int64_t stride, std::
   TTFS_CHECK(weight.rank() == 4);
   if (!bias.empty()) TTFS_CHECK(bias.numel() == weight.dim(0));
   layers_.push_back(SnnConv{std::move(weight), std::move(bias), stride, pad});
+  packed_dirty_ = true;
 }
 
 void SnnNetwork::add_fc(Tensor weight, Tensor bias) {
   TTFS_CHECK(weight.rank() == 2);
   if (!bias.empty()) TTFS_CHECK(bias.numel() == weight.dim(0));
   layers_.push_back(SnnFc{std::move(weight), std::move(bias)});
+  packed_dirty_ = true;
 }
 
 void SnnNetwork::add_pool(std::int64_t kernel, std::int64_t stride) {
   TTFS_CHECK(kernel > 0 && stride > 0);
   layers_.push_back(SnnPool{kernel, stride});
+  packed_dirty_ = true;
+}
+
+void SnnNetwork::ensure_packed() const {
+  if (!packed_dirty_) return;
+  packed_.clear();
+  packed_.reserve(layers_.size());
+  for (const auto& layer : layers_) {
+    if (const auto* conv = std::get_if<SnnConv>(&layer)) {
+      PackedConv p;
+      p.cout = conv->weight.dim(0);
+      p.cin = conv->weight.dim(1);
+      p.kh = conv->weight.dim(2);
+      p.kw = conv->weight.dim(3);
+      p.w.resize(static_cast<std::size_t>(conv->weight.numel()));
+      // (co, ci, ky, kx) -> slot-major: slot = (ci*kh + ky)*kw + kx, then co.
+      const float* src = conv->weight.data();
+      for (std::int64_t co = 0; co < p.cout; ++co) {
+        for (std::int64_t slot = 0; slot < p.cin * p.kh * p.kw; ++slot) {
+          p.w[static_cast<std::size_t>(slot * p.cout + co)] = *src++;
+        }
+      }
+      packed_.emplace_back(std::move(p));
+    } else if (const auto* fc = std::get_if<SnnFc>(&layer)) {
+      PackedFc p;
+      p.out = fc->weight.dim(0);
+      p.in = fc->weight.dim(1);
+      p.w.resize(static_cast<std::size_t>(fc->weight.numel()));
+      // (j, i) row-major -> column-major: column i, then j.
+      const float* src = fc->weight.data();
+      for (std::int64_t j = 0; j < p.out; ++j) {
+        for (std::int64_t i = 0; i < p.in; ++i) {
+          p.w[static_cast<std::size_t>(i * p.out + j)] = *src++;
+        }
+      }
+      packed_.emplace_back(std::move(p));
+    } else {
+      packed_.emplace_back(std::monostate{});
+    }
+  }
+  packed_dirty_ = false;
+}
+
+const std::vector<PackedLayer>& SnnNetwork::packed_layers() const {
+  ensure_packed();
+  return packed_;
 }
 
 std::size_t SnnNetwork::weighted_layer_count() const {

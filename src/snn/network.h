@@ -58,6 +58,26 @@ struct SnnPool {
 
 using SnnLayer = std::variant<SnnConv, SnnFc, SnnPool>;
 
+// Event-path weight repacks (see event_sim.h). The canonical (Cout, Cin, k, k)
+// and (out, in) tensors walk output channels at the largest stride, so the
+// event simulator's inner loop — "stream this input's weight vector over all
+// outputs" — was a strided gather. The packs store the same values
+// output-contiguous so each incoming spike performs contiguous vector adds:
+//  * conv: slot-major — w[((ci*kh + ky)*kw + kx) * cout + co]
+//  * fc:   column-major — w[i * out + j]
+struct PackedConv {
+  std::int64_t cout = 0, cin = 0, kh = 0, kw = 0;
+  std::vector<float> w;  // cin*kh*kw slots of cout contiguous floats
+};
+
+struct PackedFc {
+  std::int64_t out = 0, in = 0;
+  std::vector<float> w;  // in columns of out contiguous floats
+};
+
+// monostate = layer with no weights (pool).
+using PackedLayer = std::variant<std::monostate, PackedConv, PackedFc>;
+
 // Aggregate activity statistics of a forward pass (summed over the batch).
 struct SnnRunStats {
   std::vector<std::int64_t> spikes_per_layer;   // index 0 = input encoding
@@ -69,9 +89,9 @@ struct SnnRunStats {
 
 class SnnNetwork {
  public:
-  explicit SnnNetwork(Base2Kernel kernel) : kernel_{kernel} {}
+  explicit SnnNetwork(Base2Kernel kernel) : kernel_{kernel}, lut_{kernel_} {}
   SnnNetwork(Base2Kernel kernel, std::vector<SnnLayer> layers)
-      : kernel_{kernel}, layers_{std::move(layers)} {}
+      : kernel_{kernel}, lut_{kernel_}, layers_{std::move(layers)} {}
 
   void add_conv(Tensor weight, Tensor bias, std::int64_t stride, std::int64_t pad);
   void add_fc(Tensor weight, Tensor bias);
@@ -107,8 +127,24 @@ class SnnNetwork {
 
   const Base2Kernel& kernel() const { return kernel_; }
   const std::vector<SnnLayer>& layers() const { return layers_; }
-  std::vector<SnnLayer>& mutable_layers() { return layers_; }
+  // Mutating layers invalidates the event-path pack; it is rebuilt lazily by
+  // the next ensure_packed() (callers running their own threads over a freshly
+  // mutated net must call ensure_packed() once before fanning out).
+  std::vector<SnnLayer>& mutable_layers() {
+    packed_dirty_ = true;
+    return layers_;
+  }
   std::size_t weighted_layer_count() const;
+
+  // Event-path acceleration structures, built once per network (lazily, on
+  // first simulator use) and kept in step with layers_:
+  //  * packed_layers()[i] is the repack of layers()[i] (monostate for pools);
+  //  * threshold_lut() is the kernel's materialized level sequence.
+  // ensure_packed() rebuilds the pack if add_*/mutable_layers() dirtied it;
+  // the batch runner calls it before fan-out so workers only ever read.
+  void ensure_packed() const;
+  const std::vector<PackedLayer>& packed_layers() const;
+  const ThresholdLut& threshold_lut() const { return lut_; }
 
   // Encodes raw values into a SpikeMap (the input generator's job).
   SpikeMap encode(const Tensor& values) const;
@@ -118,7 +154,12 @@ class SnnNetwork {
 
  private:
   Base2Kernel kernel_;
+  ThresholdLut lut_;
   std::vector<SnnLayer> layers_;
+  // Lazy event-path weight pack (see ensure_packed); mutable so the const
+  // simulator entry points can materialize it on first use.
+  mutable std::vector<PackedLayer> packed_;
+  mutable bool packed_dirty_ = true;
 };
 
 }  // namespace ttfs::snn

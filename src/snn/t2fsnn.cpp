@@ -9,10 +9,14 @@
 namespace ttfs::snn {
 namespace {
 
+// Materialize the kernel's levels once per tensor pass: quantize() through
+// the LUT replaces two transcendentals per element with an O(log T) search,
+// which is what makes tune_kernels' (td, tau) grid sweep affordable.
 Tensor quantize_with(const BaseEKernel& kernel, const Tensor& membrane) {
+  const ThresholdLut lut{kernel};
   Tensor out{membrane.shape()};
   for (std::int64_t i = 0; i < membrane.numel(); ++i) {
-    out[i] = static_cast<float>(kernel.quantize(membrane[i]));
+    out[i] = static_cast<float>(lut.quantize(membrane[i]));
   }
   return out;
 }
@@ -20,12 +24,13 @@ Tensor quantize_with(const BaseEKernel& kernel, const Tensor& membrane) {
 }  // namespace
 
 double coding_error(const BaseEKernel& kernel, const Tensor& values) {
+  const ThresholdLut lut{kernel};
   double se = 0.0;
   std::int64_t count = 0;
   for (std::int64_t i = 0; i < values.numel(); ++i) {
     const double v = values[i];
     if (v <= 0.0) continue;
-    const double err = kernel.quantize(v) - v;
+    const double err = lut.quantize(v) - v;
     se += err * err;
     ++count;
   }

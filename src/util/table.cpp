@@ -1,6 +1,7 @@
 #include "util/table.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <iomanip>
@@ -81,6 +82,89 @@ void Table::save_csv(const std::string& path) const {
   std::ofstream os{p};
   TTFS_CHECK_MSG(os.good(), "cannot open " << path);
   write_csv(os);
+}
+
+namespace {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char ch : s) {
+    switch (ch) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", ch);
+          out += buf;
+        } else {
+          out += ch;
+        }
+    }
+  }
+  return out;
+}
+
+// A cell that matches the JSON number grammar
+// (-?(0|[1-9][0-9]*)(\.[0-9]+)?([eE][+-]?[0-9]+)?) passes through as a JSON
+// number; everything else — including strtod-parseable tokens like "nan",
+// "inf", hex floats, ".5" or "+5" that are not valid JSON — stays a string.
+bool is_number(const std::string& s) {
+  std::size_t i = 0;
+  const auto digits = [&] {
+    const std::size_t start = i;
+    while (i < s.size() && s[i] >= '0' && s[i] <= '9') ++i;
+    return i > start;
+  };
+  if (i < s.size() && s[i] == '-') ++i;
+  if (i < s.size() && s[i] == '0') ++i;  // leading zero must stand alone
+  else if (!digits()) return false;
+  if (i < s.size() && s[i] == '.') {
+    ++i;
+    if (!digits()) return false;
+  }
+  if (i < s.size() && (s[i] == 'e' || s[i] == 'E')) {
+    ++i;
+    if (i < s.size() && (s[i] == '+' || s[i] == '-')) ++i;
+    if (!digits()) return false;
+  }
+  return i == s.size();
+}
+
+}  // namespace
+
+void Table::write_json(std::ostream& os) const {
+  const auto cell = [&](const std::string& v) {
+    if (is_number(v)) os << v;
+    else os << '"' << json_escape(v) << '"';
+  };
+  os << "{\n  \"title\": \"" << json_escape(title_) << "\",\n  \"header\": [";
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    if (c != 0) os << ", ";
+    os << '"' << json_escape(header_[c]) << '"';
+  }
+  os << "],\n  \"rows\": [";
+  for (std::size_t r = 0; r < rows_.size(); ++r) {
+    os << (r == 0 ? "\n" : ",\n") << "    {";
+    for (std::size_t c = 0; c < header_.size(); ++c) {
+      if (c != 0) os << ", ";
+      os << '"' << json_escape(header_[c]) << "\": ";
+      cell(rows_[r][c]);
+    }
+    os << '}';
+  }
+  os << "\n  ]\n}\n";
+}
+
+void Table::save_json(const std::string& path) const {
+  const std::filesystem::path p{path};
+  if (p.has_parent_path()) std::filesystem::create_directories(p.parent_path());
+  std::ofstream os{p};
+  TTFS_CHECK_MSG(os.good(), "cannot open " << path);
+  write_json(os);
 }
 
 std::string Table::num(double v, int digits) {

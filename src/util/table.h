@@ -30,6 +30,14 @@ class Table {
   // Writes the CSV rendering to `path`, creating parent dirs if needed.
   void save_csv(const std::string& path) const;
 
+  // Renders machine-readable JSON: {"title", "header", "rows": [{col: cell}]}.
+  // Cells that parse fully as numbers are emitted as JSON numbers so perf
+  // dashboards can consume bench output without re-parsing strings.
+  void write_json(std::ostream& os) const;
+
+  // Writes the JSON rendering to `path`, creating parent dirs if needed.
+  void save_json(const std::string& path) const;
+
   const std::string& title() const { return title_; }
   std::size_t rows() const { return rows_.size(); }
 

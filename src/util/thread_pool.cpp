@@ -45,15 +45,31 @@ void ThreadPool::worker_loop() {
 
 void ThreadPool::parallel_for(std::int64_t begin, std::int64_t end,
                               const std::function<void(std::int64_t, std::int64_t)>& fn) {
-  if (begin >= end) return;
+  parallel_for_indexed(begin, end,
+                       [&fn](std::size_t, std::int64_t lo, std::int64_t hi) { fn(lo, hi); });
+}
+
+std::size_t ThreadPool::max_chunks(std::int64_t begin, std::int64_t end) const {
+  if (begin >= end) return 0;
   const std::int64_t n = end - begin;
   const unsigned workers = size();
-  if (workers == 0 || n == 1 || t_in_worker) {
-    fn(begin, end);
+  if (workers == 0 || n == 1 || t_in_worker) return 1;
+  return static_cast<std::size_t>(std::min<std::int64_t>(n, static_cast<std::int64_t>(workers)));
+}
+
+void ThreadPool::parallel_for_indexed(
+    std::int64_t begin, std::int64_t end,
+    const std::function<void(std::size_t, std::int64_t, std::int64_t)>& fn) {
+  if (begin >= end) return;
+  const std::int64_t n = end - begin;
+  // max_chunks is the single source of the chunking policy: callers size
+  // per-chunk scratch from it, so the indices handed to fn must stay within
+  // what it promised.
+  const std::int64_t chunks = static_cast<std::int64_t>(max_chunks(begin, end));
+  if (chunks <= 1) {
+    fn(0, begin, end);
     return;
   }
-
-  const std::int64_t chunks = std::min<std::int64_t>(n, static_cast<std::int64_t>(workers));
   const std::int64_t chunk = (n + chunks - 1) / chunks;
 
   std::atomic<std::int64_t> remaining{0};
@@ -69,9 +85,9 @@ void ThreadPool::parallel_for(std::int64_t begin, std::int64_t end,
     remaining.fetch_add(1, std::memory_order_relaxed);
     {
       const std::lock_guard<std::mutex> lock{mu_};
-      tasks_.emplace([&, lo, hi] {
+      tasks_.emplace([&, c, lo, hi] {
         try {
-          fn(lo, hi);
+          fn(static_cast<std::size_t>(c), lo, hi);
         } catch (...) {
           const std::lock_guard<std::mutex> elock{error_mu};
           if (!first_error) first_error = std::current_exception();

@@ -33,6 +33,18 @@ class ThreadPool {
   void parallel_for(std::int64_t begin, std::int64_t end,
                     const std::function<void(std::int64_t, std::int64_t)>& fn);
 
+  // Like parallel_for but also passes the chunk index, 0 <= idx <
+  // max_chunks(begin, end). Each index runs exactly once, so callers can keep
+  // per-worker scratch (e.g. event-sim arenas) in an array indexed by it with
+  // no contention and no per-task allocation.
+  void parallel_for_indexed(
+      std::int64_t begin, std::int64_t end,
+      const std::function<void(std::size_t, std::int64_t, std::int64_t)>& fn);
+
+  // Number of chunks parallel_for*(begin, end, ...) will create — the size a
+  // per-chunk scratch array must have. At least 1 for a non-empty range.
+  std::size_t max_chunks(std::int64_t begin, std::int64_t end) const;
+
  private:
   void worker_loop();
 

@@ -11,6 +11,7 @@
 #include "cat/logquant.h"
 #include "hw/processor.h"
 #include "snn/event_sim.h"
+#include "snn/event_sim_reference.h"
 #include "snn/network.h"
 #include "snn/t2fsnn.h"
 #include "util/rng.h"
@@ -50,6 +51,77 @@ TEST(EventSimStride, MatchesFastPathWithStride2AndNoPad) {
       }
       EXPECT_EQ(steps, maps[l].steps) << "layer " << l << " trial " << trial;
     }
+  }
+}
+
+// Asserts one trace is bit-identical to another: every spike in emission
+// order, every per-layer counter, every logit.
+void expect_traces_identical(const snn::EventTrace& got, const snn::EventTrace& want,
+                             const char* what) {
+  ASSERT_EQ(got.layers.size(), want.layers.size()) << what;
+  for (std::size_t l = 0; l < want.layers.size(); ++l) {
+    ASSERT_EQ(got.layers[l].spikes.size(), want.layers[l].spikes.size())
+        << what << " layer " << l;
+    for (std::size_t s = 0; s < want.layers[l].spikes.size(); ++s) {
+      EXPECT_EQ(got.layers[l].spikes[s].neuron, want.layers[l].spikes[s].neuron)
+          << what << " layer " << l << " spike " << s;
+      EXPECT_EQ(got.layers[l].spikes[s].step, want.layers[l].spikes[s].step)
+          << what << " layer " << l << " spike " << s;
+    }
+    EXPECT_EQ(got.layers[l].neuron_count, want.layers[l].neuron_count) << what << " layer " << l;
+    EXPECT_EQ(got.layers[l].integration_ops, want.layers[l].integration_ops)
+        << what << " layer " << l;
+    EXPECT_EQ(got.layers[l].encoder_cycles, want.layers[l].encoder_cycles)
+        << what << " layer " << l;
+  }
+  ASSERT_EQ(got.logits.numel(), want.logits.numel()) << what;
+  for (std::int64_t i = 0; i < want.logits.numel(); ++i) {
+    EXPECT_EQ(got.logits[i], want.logits[i]) << what << " logit " << i;
+  }
+}
+
+TEST(EventSimOverhaul, BitIdenticalToReferenceSimulator) {
+  // The repacked-weight / step-bucketed / arena-reusing simulator must
+  // reproduce the retained pre-overhaul implementation exactly — spike maps,
+  // emission order, integration-op counts, encoder-cycle counts and logits —
+  // across conv stride/pad variants, pooling, and FC layers.
+  Rng rng{400};
+  snn::SnnNetwork net{snn::Base2Kernel{24, 4.0, 1.0}};
+  net.add_conv(random_tensor({6, 3, 3, 3}, rng, -0.15F, 0.25F),
+               random_tensor({6}, rng, -0.05F, 0.1F), /*stride=*/1, /*pad=*/1);
+  net.add_pool(2, 2);
+  net.add_conv(random_tensor({8, 6, 3, 3}, rng, -0.1F, 0.15F), Tensor{{8}},
+               /*stride=*/2, /*pad=*/1);
+  net.add_conv(random_tensor({10, 8, 3, 3}, rng, -0.1F, 0.15F),
+               random_tensor({10}, rng, -0.05F, 0.1F), /*stride=*/1, /*pad=*/0);
+  net.add_fc(random_tensor({5, 10 * 1 * 1}, rng, -0.2F, 0.22F),
+             random_tensor({5}, rng, -0.05F, 0.05F));
+
+  snn::SimArena arena;  // shared across trials: reuse must not leak state
+  for (int trial = 0; trial < 4; ++trial) {
+    const Tensor img = random_tensor({3, 12, 12}, rng, 0.0F, 1.0F);
+    const snn::EventTrace ref = snn::reference::run_event_sim(net, img);
+    expect_traces_identical(snn::run_event_sim(net, img), ref, "fresh-arena");
+    expect_traces_identical(snn::run_event_sim(net, img, arena), ref, "shared-arena");
+  }
+}
+
+TEST(EventSimOverhaul, BatchBitIdenticalToReference) {
+  Rng rng{401};
+  snn::SnnNetwork net{snn::Base2Kernel{24, 4.0, 1.0}};
+  net.add_conv(random_tensor({6, 3, 3, 3}, rng, -0.15F, 0.25F),
+               random_tensor({6}, rng, -0.05F, 0.1F), 1, 1);
+  net.add_pool(2, 2);
+  net.add_fc(random_tensor({5, 6 * 5 * 5}, rng, -0.1F, 0.12F),
+             random_tensor({5}, rng, -0.05F, 0.05F));
+  const Tensor images = random_tensor({7, 3, 10, 10}, rng, 0.0F, 1.0F);
+
+  ThreadPool pool{3};
+  const snn::BatchEventResult batched = snn::run_event_sim_batch(net, images, &pool);
+  ASSERT_EQ(batched.traces.size(), 7U);
+  for (std::int64_t i = 0; i < images.dim(0); ++i) {
+    const snn::EventTrace ref = snn::reference::run_event_sim(net, images.sample0(i));
+    expect_traces_identical(batched.traces[static_cast<std::size_t>(i)], ref, "batch sample");
   }
 }
 
