@@ -1,0 +1,146 @@
+// Serving throughput/latency under offered load: closed-loop clients against
+// SnnServer at a sweep of (max_batch, concurrent clients) configurations on
+// the VGG-style event-sim workload.
+//
+//   ./build/bench/bench_serving_latency [--requests N] [--reps R] [--json]
+//
+// Each cell runs `clients` threads, every thread submitting its share of
+// `requests` back to back (submit, wait on the future, repeat), and reports
+// requests/sec plus the server's own p50/p95 latency and mean formed batch
+// size. The speedup column compares against max_batch=1 at the same client
+// count — max_batch=1 serves every request as its own batch (no fan-out
+// across the compute pool), so at batch-forming load (clients > 1) the
+// dynamic batcher's win is the pool-parallel speedup, approaching
+// min(cores, max_batch) on an idle multi-core host. On a single core the
+// ratio stays ~1x: batching amortizes scheduling, it cannot mint compute.
+//
+// TTFS_THREADS caps the compute pool as everywhere else. With --json the
+// table is also written to BENCH_serving_latency.json for CI artifacts.
+#include <chrono>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common.h"
+#include "serve/server.h"
+#include "snn/network.h"
+#include "util/cli.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace {
+
+using namespace ttfs;
+
+Tensor random_tensor(std::vector<std::int64_t> shape, Rng& rng, float lo, float hi) {
+  Tensor t{std::move(shape)};
+  for (std::int64_t i = 0; i < t.numel(); ++i) t[i] = rng.uniform_f(lo, hi);
+  return t;
+}
+
+// Same VGG-style conv/pool/fc stack as bench_batch_throughput, so the two
+// benches' samples/sec are directly comparable.
+snn::SnnNetwork make_net(Rng& rng) {
+  snn::SnnNetwork net{snn::Base2Kernel{24, 4.0, 1.0}};
+  net.add_conv(random_tensor({16, 3, 3, 3}, rng, -0.15F, 0.25F),
+               random_tensor({16}, rng, -0.05F, 0.1F), 1, 1);
+  net.add_pool(2, 2);
+  net.add_conv(random_tensor({24, 16, 3, 3}, rng, -0.1F, 0.15F),
+               random_tensor({24}, rng, -0.05F, 0.1F), 1, 1);
+  net.add_pool(2, 2);
+  net.add_fc(random_tensor({10, 24 * 4 * 4}, rng, -0.1F, 0.12F),
+             random_tensor({10}, rng, -0.05F, 0.05F));
+  return net;
+}
+
+struct CellResult {
+  double rate = 0.0;  // requests/sec, best rep
+  serve::ServerStats stats;
+};
+
+// One sweep cell: `clients` closed-loop threads push `requests` total through
+// a fresh server; best-of-`reps` wall-clock rate.
+CellResult run_cell(const snn::SnnNetwork& net, const std::vector<Tensor>& images,
+                    std::int64_t max_batch, std::int64_t clients, int reps) {
+  CellResult out;
+  const std::int64_t requests = static_cast<std::int64_t>(images.size());
+  for (int rep = 0; rep < reps; ++rep) {
+    serve::ServeOptions opts;
+    opts.max_batch = max_batch;
+    opts.max_delay = std::chrono::microseconds{500};
+    serve::SnnServer server{net, {3, 16, 16}, opts};
+
+    const auto start = std::chrono::steady_clock::now();
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<std::size_t>(clients));
+    for (std::int64_t c = 0; c < clients; ++c) {
+      threads.emplace_back([&, c] {
+        // Client c owns requests c, c+clients, c+2*clients, ...
+        for (std::int64_t i = c; i < requests; i += clients) {
+          auto sub = server.submit(images[static_cast<std::size_t>(i)]);
+          (void)sub.result.get();
+        }
+      });
+    }
+    for (auto& t : threads) t.join();
+    const double secs =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+    server.stop();
+    const double rate = static_cast<double>(requests) / secs;
+    if (rate > out.rate) {
+      out.rate = rate;
+      out.stats = server.stats();
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::init(argc, argv);
+  const CliArgs args{argc, argv};
+  const std::int64_t requests = args.get_int("requests", 96);
+  const int reps = args.get_int("reps", 2);
+  const std::vector<std::int64_t> batch_sweep{1, 4, 16};
+  const std::vector<std::int64_t> client_sweep{1, 4, 16};
+
+  Rng rng{42};
+  const snn::SnnNetwork net = make_net(rng);
+  std::vector<Tensor> images;
+  images.reserve(static_cast<std::size_t>(requests));
+  for (std::int64_t i = 0; i < requests; ++i) {
+    images.push_back(random_tensor({3, 16, 16}, rng, 0.0F, 1.0F));
+  }
+
+  std::cout << "\n### serving latency — " << requests << " requests/cell, compute pool of "
+            << global_pool().size() << " worker(s), best of " << reps << " reps\n\n";
+
+  Table table{"serving_latency"};
+  table.set_header({"max_batch", "clients", "reqs/s", "mean batch", "p50 ms", "p95 ms",
+                    "speedup vs max_batch=1"});
+
+  double batched_speedup_at_load = 0.0;
+  for (const std::int64_t clients : client_sweep) {
+    double base_rate = 0.0;
+    for (const std::int64_t max_batch : batch_sweep) {
+      const CellResult cell = run_cell(net, images, max_batch, clients, reps);
+      if (max_batch == 1) base_rate = cell.rate;
+      const double speedup = base_rate > 0.0 ? cell.rate / base_rate : 0.0;
+      if (clients == client_sweep.back()) {
+        batched_speedup_at_load = std::max(batched_speedup_at_load, speedup);
+      }
+      table.add_row({std::to_string(max_batch), std::to_string(clients),
+                     Table::num(cell.rate, 1), Table::num(cell.stats.mean_batch_size, 2),
+                     Table::num(cell.stats.latency_p50_ms, 3),
+                     Table::num(cell.stats.latency_p95_ms, 3), Table::num(speedup, 2) + "x"});
+    }
+  }
+  bench::emit(table);
+  std::cout << "batching speedup at full load (clients=" << client_sweep.back()
+            << "): " << Table::num(batched_speedup_at_load, 2)
+            << "x vs max_batch=1 (expect ~min(cores, max_batch) on an idle host; ~1x on a "
+               "single core)\n";
+  return 0;
+}

@@ -1,0 +1,92 @@
+#include "serve/batcher.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace ttfs::serve {
+
+MicroBatcher::MicroBatcher(BatcherOptions opts) : opts_{opts} {
+  TTFS_CHECK(opts.max_batch > 0 && opts.max_delay.count() >= 0);
+}
+
+bool MicroBatcher::push(PendingRequest& req) {
+  {
+    const std::lock_guard<std::mutex> lock{mu_};
+    if (closed_) return false;
+    queue_.push_back(std::move(req));
+  }
+  // Waking the consumer on every push keeps the logic simple; it re-checks
+  // the size/deadline policy and goes back to (deadline-bounded) sleep when
+  // the batch isn't ready yet.
+  cv_.notify_one();
+  return true;
+}
+
+std::vector<PendingRequest> MicroBatcher::take_locked() {
+  const std::size_t take =
+      std::min(queue_.size(), static_cast<std::size_t>(opts_.max_batch));
+  std::vector<PendingRequest> batch;
+  batch.reserve(take);
+  for (std::size_t i = 0; i < take; ++i) {
+    batch.push_back(std::move(queue_.front()));
+    queue_.pop_front();
+  }
+  return batch;
+}
+
+std::vector<PendingRequest> MicroBatcher::pop_batch() {
+  std::unique_lock<std::mutex> lock{mu_};
+  for (;;) {
+    if (closed_) return take_locked();  // drain mode: empty vector ends it
+    if (queue_.size() >= static_cast<std::size_t>(opts_.max_batch)) return take_locked();
+    if (queue_.empty()) {
+      cv_.wait(lock);
+      continue;
+    }
+    // Pending but below max_batch: sleep until the oldest request's deadline.
+    // A push can beat the deadline (size trigger) and close() flushes
+    // immediately; both re-enter the loop via no_timeout. On timeout the
+    // deadline is re-checked against the *current* front — a cancel may have
+    // replaced it with a younger request whose max_delay has not elapsed yet,
+    // in which case the loop re-arms on the new deadline instead of flushing
+    // early.
+    const auto deadline = queue_.front().enqueued + opts_.max_delay;
+    if (cv_.wait_until(lock, deadline) == std::cv_status::timeout && !queue_.empty() &&
+        std::chrono::steady_clock::now() >= queue_.front().enqueued + opts_.max_delay) {
+      return take_locked();
+    }
+  }
+}
+
+std::optional<PendingRequest> MicroBatcher::cancel(std::uint64_t id) {
+  const std::lock_guard<std::mutex> lock{mu_};
+  for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+    if (it->id == id) {
+      PendingRequest req = std::move(*it);
+      queue_.erase(it);
+      return req;
+    }
+  }
+  return std::nullopt;
+}
+
+void MicroBatcher::close() {
+  {
+    const std::lock_guard<std::mutex> lock{mu_};
+    closed_ = true;
+  }
+  cv_.notify_all();
+}
+
+std::size_t MicroBatcher::depth() const {
+  const std::lock_guard<std::mutex> lock{mu_};
+  return queue_.size();
+}
+
+bool MicroBatcher::closed() const {
+  const std::lock_guard<std::mutex> lock{mu_};
+  return closed_;
+}
+
+}  // namespace ttfs::serve

@@ -1,0 +1,85 @@
+// Dynamic micro-batching queue: the request-forming half of SnnServer.
+//
+// Producers (any thread) push single-image requests; one consumer (the
+// server's scheduler thread) blocks in pop_batch() until a batch is ready.
+// A batch forms when either
+//   * size   — the queue reaches max_batch pending requests, or
+//   * delay  — the oldest pending request has waited max_delay,
+// whichever comes first; batches are always popped FIFO. close() starts the
+// drain: pushes are refused, but pop_batch() keeps handing out (size-capped)
+// batches until the queue is empty and only then returns an empty vector —
+// that empty batch is the consumer's shutdown signal.
+//
+// The batcher owns nothing but the queue; completing promises (served,
+// cancelled, rejected) is the server's job, which is why cancel() hands the
+// removed request back instead of resolving it.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "serve/result.h"
+#include "tensor/tensor.h"
+
+namespace ttfs::serve {
+
+// One queued request, alive from submit() until its promise resolves.
+struct PendingRequest {
+  std::uint64_t id = 0;
+  Tensor image;  // (C, H, W)
+  std::chrono::steady_clock::time_point enqueued;
+  std::promise<ServeResult> promise;
+};
+
+struct BatcherOptions {
+  std::int64_t max_batch = 8;                 // flush-on-size threshold
+  std::chrono::microseconds max_delay{2000};  // flush-on-deadline bound
+};
+
+class MicroBatcher {
+ public:
+  explicit MicroBatcher(BatcherOptions opts);
+
+  MicroBatcher(const MicroBatcher&) = delete;
+  MicroBatcher& operator=(const MicroBatcher&) = delete;
+
+  // Enqueues a request; false once close() has been called (the request is
+  // handed back untouched via `req` being left valid — the caller rejects it).
+  bool push(PendingRequest& req);
+
+  // Blocks until a batch is ready per the size/delay policy, then pops up to
+  // max_batch requests in FIFO order. Returns an empty vector only when the
+  // batcher is closed and fully drained.
+  std::vector<PendingRequest> pop_batch();
+
+  // Removes the request with this id if it is still queued (i.e. its batch
+  // has not formed yet) and hands it back; nullopt when it was already popped
+  // or never existed.
+  std::optional<PendingRequest> cancel(std::uint64_t id);
+
+  // Refuses further pushes and wakes the consumer; pending requests keep
+  // flowing out of pop_batch() until drained. Idempotent.
+  void close();
+
+  std::size_t depth() const;
+  bool closed() const;
+  const BatcherOptions& options() const { return opts_; }
+
+ private:
+  // Pops up to max_batch requests; caller holds mu_.
+  std::vector<PendingRequest> take_locked();
+
+  const BatcherOptions opts_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<PendingRequest> queue_;
+  bool closed_ = false;
+};
+
+}  // namespace ttfs::serve

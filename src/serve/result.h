@@ -1,0 +1,29 @@
+// Per-request completion record of the serving layer.
+//
+// Every request submitted to SnnServer resolves to exactly one ServeResult
+// through its future, whatever happens to it — served, cancelled before its
+// batch formed, or rejected because the server was already shut down.
+#pragma once
+
+#include <cstdint>
+
+#include "snn/network.h"
+#include "tensor/tensor.h"
+
+namespace ttfs::serve {
+
+enum class RequestStatus {
+  kOk,         // served: logits / predicted / stats are populated
+  kCancelled,  // cancel() removed it from the queue before batch formation
+  kRejected,   // submitted after shutdown began
+};
+
+struct ServeResult {
+  RequestStatus status = RequestStatus::kRejected;
+  Tensor logits;                 // (1, classes) when kOk, empty otherwise
+  std::int64_t predicted = -1;   // argmax of logits, -1 unless kOk
+  snn::SnnRunStats stats;        // this request's own activity counters
+  double latency_seconds = 0.0;  // submit -> completion (also set on cancel)
+};
+
+}  // namespace ttfs::serve

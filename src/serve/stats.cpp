@@ -1,0 +1,59 @@
+#include "serve/stats.h"
+
+#include <sstream>
+
+namespace ttfs::serve {
+
+std::string ServerStats::describe() const {
+  std::ostringstream os;
+  os.precision(3);
+  os << "served " << completed << "/" << submitted << " (" << cancelled << " cancelled, "
+     << rejected << " rejected) in " << batches_formed << " batches (mean " << mean_batch_size
+     << "), p50 " << latency_p50_ms << "ms p95 " << latency_p95_ms << "ms";
+  return os.str();
+}
+
+void StatsCollector::on_submit() {
+  const std::lock_guard<std::mutex> lock{mu_};
+  ++submitted_;
+}
+
+void StatsCollector::on_cancel() {
+  const std::lock_guard<std::mutex> lock{mu_};
+  ++cancelled_;
+}
+
+void StatsCollector::on_reject() {
+  const std::lock_guard<std::mutex> lock{mu_};
+  ++rejected_;
+}
+
+void StatsCollector::on_batch() {
+  const std::lock_guard<std::mutex> lock{mu_};
+  ++batches_;
+}
+
+void StatsCollector::on_complete(double latency_seconds) {
+  const std::lock_guard<std::mutex> lock{mu_};
+  ++completed_;
+  latency_.record(latency_seconds);
+}
+
+ServerStats StatsCollector::snapshot(std::size_t queue_depth) const {
+  const std::lock_guard<std::mutex> lock{mu_};
+  ServerStats s;
+  s.submitted = submitted_;
+  s.completed = completed_;
+  s.cancelled = cancelled_;
+  s.rejected = rejected_;
+  s.batches_formed = batches_;
+  s.queue_depth = queue_depth;
+  s.mean_batch_size =
+      batches_ == 0 ? 0.0 : static_cast<double>(completed_) / static_cast<double>(batches_);
+  s.latency_mean_ms = latency_.mean() * 1e3;
+  s.latency_p50_ms = latency_.quantile(0.50) * 1e3;
+  s.latency_p95_ms = latency_.quantile(0.95) * 1e3;
+  return s;
+}
+
+}  // namespace ttfs::serve

@@ -1,0 +1,56 @@
+// Serving-side observability: counters + latency distribution.
+//
+// StatsCollector is the thread-safe sink the server feeds from every thread
+// that touches a request (submitters, the scheduler); ServerStats is the
+// consistent point-in-time snapshot handed to callers. Latencies go through
+// util/latency_histogram.h, so p50/p95 are O(1) memory no matter how many
+// requests have been served.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+#include "util/latency_histogram.h"
+
+namespace ttfs::serve {
+
+struct ServerStats {
+  std::uint64_t submitted = 0;       // all submit() calls (rejected included)
+  std::uint64_t completed = 0;       // served with logits
+  std::uint64_t cancelled = 0;       // removed before batch formation
+  std::uint64_t rejected = 0;        // refused (shutdown)
+  std::uint64_t batches_formed = 0;  // pop_batch() flushes that ran
+  std::size_t queue_depth = 0;       // pending at snapshot time
+  double mean_batch_size = 0.0;      // completed / batches_formed
+  double latency_mean_ms = 0.0;      // submit -> completion, served requests
+  double latency_p50_ms = 0.0;
+  double latency_p95_ms = 0.0;
+
+  // One line for logs/demos, e.g.
+  // "served 96/96 (0 cancelled, 0 rejected) in 12 batches (mean 8.0), p50 1.93ms p95 3.1ms".
+  std::string describe() const;
+};
+
+class StatsCollector {
+ public:
+  void on_submit();
+  void on_cancel();
+  void on_reject();
+  void on_batch();
+  void on_complete(double latency_seconds);
+
+  // `queue_depth` comes from the batcher (it owns the queue lock).
+  ServerStats snapshot(std::size_t queue_depth) const;
+
+ private:
+  mutable std::mutex mu_;
+  std::uint64_t submitted_ = 0;
+  std::uint64_t completed_ = 0;
+  std::uint64_t cancelled_ = 0;
+  std::uint64_t rejected_ = 0;
+  std::uint64_t batches_ = 0;
+  LatencyHistogram latency_;
+};
+
+}  // namespace ttfs::serve

@@ -114,6 +114,23 @@ struct BatchEventResult {
 BatchEventResult run_event_sim_batch(const SnnNetwork& net, const Tensor& nchw,
                                      ThreadPool* pool = nullptr);
 
+// Gathered-batch entry point for callers holding independently-owned samples
+// (the serving layer's natural shape): images[i] is a (C, H, W) tensor and
+// all must share one shape — no (N, C, H, W) assembly copy. `arenas` is
+// optional caller-owned scratch: at least min(N, pool worker count, but >= 1)
+// SimArenas that are reused call after call, so a long-lived caller
+// (SnnServer) does zero per-batch scratch allocation; pass nullptr for
+// per-call arenas like the NCHW overload. (Don't size them with max_chunks()
+// from inside a pool task — it reports 1 there; batches launched from a
+// non-worker thread still fan out.) With merge_logits false the (N, classes)
+// result.logits merge is skipped (left empty) for callers that read
+// traces[i].logits directly. Bit-identical to running run_event_sim on each
+// image in input order.
+BatchEventResult run_event_sim_batch(const SnnNetwork& net,
+                                     const std::vector<const Tensor*>& images,
+                                     std::vector<SimArena>* arenas = nullptr,
+                                     ThreadPool* pool = nullptr, bool merge_logits = true);
+
 // The fire-phase / spike-encoder primitive (Sec. 4): encodes a vector of
 // membrane voltages into priority-ordered spikes and counts encoder cycles
 // (one per scanned timestep plus one per serialized spike). Shared by the

@@ -44,7 +44,12 @@ void SnnNetwork::add_pool(std::int64_t kernel, std::int64_t stride) {
 }
 
 void SnnNetwork::ensure_packed() const {
-  if (!packed_dirty_) return;
+  // Double-checked: the dirty flag is the lock-free steady-state path, the
+  // mutex serializes the (rare) rebuild so concurrent const callers — e.g.
+  // several servers or batch runs sharing one network — never race on packed_.
+  if (!packed_dirty_.load(std::memory_order_acquire)) return;
+  const std::lock_guard<std::mutex> lock{pack_mu_};
+  if (!packed_dirty_.load(std::memory_order_relaxed)) return;
   packed_.clear();
   packed_.reserve(layers_.size());
   for (const auto& layer : layers_) {
@@ -80,7 +85,7 @@ void SnnNetwork::ensure_packed() const {
       packed_.emplace_back(std::monostate{});
     }
   }
-  packed_dirty_ = false;
+  packed_dirty_.store(false, std::memory_order_release);
 }
 
 const std::vector<PackedLayer>& SnnNetwork::packed_layers() const {
@@ -200,23 +205,21 @@ Tensor SnnNetwork::forward(const Tensor& images, SnnRunStats* stats) const {
   return {};
 }
 
-Tensor SnnNetwork::classify(const Tensor& images, SnnRunStats* stats, ThreadPool* pool) const {
-  TTFS_CHECK(images.rank() == 4 || images.rank() == 2);
-  const std::int64_t n = images.dim(0);
-
+Tensor SnnNetwork::classify_rows(std::int64_t n,
+                                 const std::function<Tensor(std::int64_t)>& sample_at,
+                                 std::vector<SnnRunStats>* per_sample, ThreadPool* pool) const {
   std::vector<Tensor> rows(static_cast<std::size_t>(n));
-  std::vector<SnnRunStats> row_stats(stats != nullptr ? static_cast<std::size_t>(n) : 0);
+  if (per_sample != nullptr) per_sample->assign(static_cast<std::size_t>(n), SnnRunStats{});
   ThreadPool& workers = pool != nullptr ? *pool : global_pool();
   workers.parallel_for(0, n, [&](std::int64_t lo, std::int64_t hi) {
     for (std::int64_t i = lo; i < hi; ++i) {
       // Worker-local slice: the GEMM/membrane buffers live inside forward().
       const std::size_t idx = static_cast<std::size_t>(i);
-      rows[idx] = forward(images.slice0(i, 1), stats != nullptr ? &row_stats[idx] : nullptr);
+      rows[idx] = forward(sample_at(i), per_sample != nullptr ? &(*per_sample)[idx] : nullptr);
     }
   });
 
-  // Merge in sample order. Spike/neuron counters are exact integers, so the
-  // totals match the sequential loop bit for bit.
+  // Merge rows in sample order: row i is sample i's logits verbatim.
   const std::int64_t classes = n == 0 ? 0 : rows[0].numel();
   Tensor logits{{n, classes}};
   for (std::int64_t i = 0; i < n; ++i) {
@@ -224,6 +227,46 @@ Tensor SnnNetwork::classify(const Tensor& images, SnnRunStats* stats, ThreadPool
     TTFS_CHECK(row.numel() == classes);
     std::copy(row.data(), row.data() + classes, logits.data() + i * classes);
   }
+  return logits;
+}
+
+Tensor SnnNetwork::classify_each(const Tensor& images, std::vector<SnnRunStats>* per_sample,
+                                 ThreadPool* pool) const {
+  TTFS_CHECK(images.rank() == 4 || images.rank() == 2);
+  return classify_rows(
+      images.dim(0), [&images](std::int64_t i) { return images.slice0(i, 1); }, per_sample,
+      pool);
+}
+
+Tensor SnnNetwork::classify_each(const std::vector<const Tensor*>& images,
+                                 std::vector<SnnRunStats>* per_sample, ThreadPool* pool) const {
+  bool first = true;
+  std::vector<std::int64_t> shape;
+  for (const Tensor* img : images) {
+    TTFS_CHECK(img != nullptr && img->rank() == 3);
+    if (first) {
+      shape = img->shape();
+      first = false;
+    } else {
+      TTFS_CHECK_MSG(img->shape() == shape, "batch mixes sample shapes");
+    }
+  }
+  return classify_rows(
+      static_cast<std::int64_t>(images.size()),
+      [&images](std::int64_t i) {
+        const Tensor& img = *images[static_cast<std::size_t>(i)];
+        // (1, C, H, W) wrapper built on the worker: the only copy per sample.
+        return Tensor{{1, img.dim(0), img.dim(1), img.dim(2)}, std::vector<float>(img.vec())};
+      },
+      per_sample, pool);
+}
+
+Tensor SnnNetwork::classify(const Tensor& images, SnnRunStats* stats, ThreadPool* pool) const {
+  std::vector<SnnRunStats> row_stats;
+  Tensor logits = classify_each(images, stats != nullptr ? &row_stats : nullptr, pool);
+
+  // Merge in sample order. Spike/neuron counters are exact integers, so the
+  // totals match the sequential loop bit for bit.
   if (stats != nullptr) {
     const std::size_t weighted = weighted_layer_count();
     if (stats->spikes_per_layer.empty()) {

@@ -16,7 +16,10 @@
 //    validate this path and to drive the hardware model.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <functional>
+#include <mutex>
 #include <variant>
 #include <vector>
 
@@ -93,6 +96,34 @@ class SnnNetwork {
   SnnNetwork(Base2Kernel kernel, std::vector<SnnLayer> layers)
       : kernel_{kernel}, lut_{kernel_}, layers_{std::move(layers)} {}
 
+  // Copies/moves transfer the kernel and layers only; the destination's
+  // event-path pack starts dirty and is rebuilt lazily. (Spelled out because
+  // the pack mutex is neither copyable nor movable.)
+  SnnNetwork(const SnnNetwork& other)
+      : kernel_{other.kernel_}, lut_{other.lut_}, layers_{other.layers_} {}
+  SnnNetwork(SnnNetwork&& other) noexcept
+      : kernel_{other.kernel_}, lut_{std::move(other.lut_)}, layers_{std::move(other.layers_)} {}
+  SnnNetwork& operator=(const SnnNetwork& other) {
+    if (this != &other) {
+      kernel_ = other.kernel_;
+      lut_ = other.lut_;
+      layers_ = other.layers_;
+      packed_.clear();
+      packed_dirty_.store(true, std::memory_order_release);
+    }
+    return *this;
+  }
+  SnnNetwork& operator=(SnnNetwork&& other) noexcept {
+    if (this != &other) {
+      kernel_ = other.kernel_;
+      lut_ = std::move(other.lut_);
+      layers_ = std::move(other.layers_);
+      packed_.clear();
+      packed_dirty_.store(true, std::memory_order_release);
+    }
+    return *this;
+  }
+
   void add_conv(Tensor weight, Tensor bias, std::int64_t stride, std::int64_t pad);
   void add_fc(Tensor weight, Tensor bias);
   void add_pool(std::int64_t kernel, std::int64_t stride);
@@ -109,6 +140,21 @@ class SnnNetwork {
   // forward() on each (1, ...) slice in a sequential loop.
   Tensor classify(const Tensor& images, SnnRunStats* stats = nullptr,
                   ThreadPool* pool = nullptr) const;
+
+  // Per-sample variant of classify(): identical fan-out and bit-identical
+  // logits, but when `per_sample` is non-null it is resized to N and entry i
+  // receives sample i's own SnnRunStats (images == 1). The serving layer uses
+  // this to complete each request with its own activity counters; classify()
+  // is a sample-order merge of the same rows/stats.
+  Tensor classify_each(const Tensor& images, std::vector<SnnRunStats>* per_sample,
+                       ThreadPool* pool = nullptr) const;
+
+  // Gathered form for callers holding independently-owned (C, H, W) samples
+  // of one shape (mirrors the gathered run_event_sim_batch): each worker
+  // wraps its own sample as a (1, C, H, W) batch, so there is no caller-side
+  // (N, C, H, W) assembly copy.
+  Tensor classify_each(const std::vector<const Tensor*>& images,
+                       std::vector<SnnRunStats>* per_sample, ThreadPool* pool = nullptr) const;
 
   // Runs one image (C, H, W) and returns the SpikeMap of every fire phase:
   // index 0 is the encoded input, then one entry per spiking layer (pools act
@@ -131,7 +177,7 @@ class SnnNetwork {
   // the next ensure_packed() (callers running their own threads over a freshly
   // mutated net must call ensure_packed() once before fanning out).
   std::vector<SnnLayer>& mutable_layers() {
-    packed_dirty_ = true;
+    packed_dirty_.store(true, std::memory_order_release);
     return layers_;
   }
   std::size_t weighted_layer_count() const;
@@ -142,6 +188,10 @@ class SnnNetwork {
   //  * threshold_lut() is the kernel's materialized level sequence.
   // ensure_packed() rebuilds the pack if add_*/mutable_layers() dirtied it;
   // the batch runner calls it before fan-out so workers only ever read.
+  // ensure_packed() is safe to call from any number of threads concurrently
+  // (double-checked under pack_mu_), so the const entry points — forward,
+  // classify*, the event simulators, the serving layer — can share one
+  // network across threads as long as nobody mutates layers meanwhile.
   void ensure_packed() const;
   const std::vector<PackedLayer>& packed_layers() const;
   const ThresholdLut& threshold_lut() const { return lut_; }
@@ -153,13 +203,22 @@ class SnnNetwork {
   Tensor decode(const SpikeMap& map) const;
 
  private:
+  // Shared core of the classify_each overloads: fans samples 0..n-1 (each
+  // materialized as a (1, ...) batch by `sample_at`, called on the worker)
+  // across the pool and merges logits rows in sample order.
+  Tensor classify_rows(std::int64_t n, const std::function<Tensor(std::int64_t)>& sample_at,
+                       std::vector<SnnRunStats>* per_sample, ThreadPool* pool) const;
+
   Base2Kernel kernel_;
   ThresholdLut lut_;
   std::vector<SnnLayer> layers_;
   // Lazy event-path weight pack (see ensure_packed); mutable so the const
-  // simulator entry points can materialize it on first use.
+  // simulator entry points can materialize it on first use. pack_mu_ guards
+  // the rebuild; packed_dirty_ is the lock-free fast path for the (steady
+  // state) already-packed case.
   mutable std::vector<PackedLayer> packed_;
-  mutable bool packed_dirty_ = true;
+  mutable std::atomic<bool> packed_dirty_{true};
+  mutable std::mutex pack_mu_;
 };
 
 }  // namespace ttfs::snn

@@ -1,0 +1,68 @@
+#include "util/latency_histogram.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace ttfs {
+
+LatencyHistogram::LatencyHistogram(double min_value, double max_value, double growth) {
+  TTFS_CHECK(min_value > 0.0 && max_value > min_value && growth > 1.0);
+  min_value_ = min_value;
+  inv_log_growth_ = 1.0 / std::log(growth);
+  const std::size_t n = static_cast<std::size_t>(
+                            std::ceil(std::log(max_value / min_value) * inv_log_growth_)) +
+                        1;
+  buckets_.assign(n, 0);
+}
+
+double LatencyHistogram::bucket_floor(std::size_t i) const {
+  return min_value_ * std::exp(static_cast<double>(i) / inv_log_growth_);
+}
+
+void LatencyHistogram::record(double value) {
+  std::size_t i = 0;
+  if (value > min_value_) {
+    i = static_cast<std::size_t>(std::log(value / min_value_) * inv_log_growth_);
+    i = std::min(i, buckets_.size() - 1);
+  }
+  ++buckets_[i];
+  ++total_;
+  sum_ += value;
+}
+
+double LatencyHistogram::mean() const {
+  return total_ == 0 ? 0.0 : sum_ / static_cast<double>(total_);
+}
+
+double LatencyHistogram::quantile(double q) const {
+  TTFS_CHECK(q >= 0.0 && q <= 1.0);
+  if (total_ == 0) return 0.0;
+  // Rank of the q-th sample (1-based, ceil: p0 is the first sample, p100 the
+  // last), then walk the cumulative counts to its bucket.
+  const std::uint64_t rank =
+      std::max<std::uint64_t>(1, static_cast<std::uint64_t>(
+                                     std::ceil(q * static_cast<double>(total_))));
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    if (buckets_[i] == 0) continue;
+    if (seen + buckets_[i] >= rank) {
+      // Interpolate inside [floor, ceil) by the rank's position in the bucket.
+      const double lo = bucket_floor(i);
+      const double hi = bucket_floor(i + 1);
+      const double frac = static_cast<double>(rank - seen) / static_cast<double>(buckets_[i]);
+      return lo + (hi - lo) * frac;
+    }
+    seen += buckets_[i];
+  }
+  return bucket_floor(buckets_.size());  // unreachable if counts are consistent
+}
+
+void LatencyHistogram::reset() {
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+  total_ = 0;
+  sum_ = 0.0;
+}
+
+}  // namespace ttfs

@@ -1,0 +1,49 @@
+// Streaming latency histogram with approximate quantiles.
+//
+// Fixed geometric buckets over [min_value, max_value): bucket i covers
+// [min_value * growth^i, min_value * growth^(i+1)), so memory is constant
+// (~100 buckets) no matter how many samples are recorded and the relative
+// quantile error is bounded by the growth factor (±12.5% at the default
+// 1.25). Built for the serving layer's p50/p95 request-latency tracking but
+// value-agnostic: record() takes plain doubles (seconds, by convention).
+//
+// Not thread-safe — the owner serializes access (ServerStats snapshots are
+// taken under the collector's mutex).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace ttfs {
+
+class LatencyHistogram {
+ public:
+  // Defaults cover 1 microsecond .. ~100 seconds, plenty for request
+  // latencies; values outside the range clamp into the edge buckets.
+  explicit LatencyHistogram(double min_value = 1e-6, double max_value = 100.0,
+                            double growth = 1.25);
+
+  void record(double value);
+
+  std::uint64_t count() const { return total_; }
+  // Exact mean of everything recorded (the sum is kept outside the buckets).
+  double mean() const;
+  // Approximate q-quantile (0 <= q <= 1): the geometric midpoint of the
+  // bucket holding the q-th sample, linearly interpolated within the bucket's
+  // cumulative mass. Returns 0 when empty.
+  double quantile(double q) const;
+
+  void reset();
+
+ private:
+  double min_value_;
+  double inv_log_growth_;  // 1 / log(growth), for O(1) bucket lookup
+  std::vector<std::uint64_t> buckets_;
+  std::uint64_t total_ = 0;
+  double sum_ = 0.0;
+
+  // Lower bound of bucket i (upper bound of i-1).
+  double bucket_floor(std::size_t i) const;
+};
+
+}  // namespace ttfs

@@ -92,8 +92,12 @@ void ThreadPool::parallel_for_indexed(
           const std::lock_guard<std::mutex> elock{error_mu};
           if (!first_error) first_error = std::current_exception();
         }
+        // The decrement must happen under done_mu: the caller owns every sync
+        // object on its stack and returns as soon as it observes remaining ==
+        // 0, so a worker that dropped the count to 0 *before* taking the lock
+        // could find the mutex already destroyed when it went to notify.
+        const std::lock_guard<std::mutex> dlock{done_mu};
         if (remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-          const std::lock_guard<std::mutex> dlock{done_mu};
           done_cv.notify_all();
         }
       });

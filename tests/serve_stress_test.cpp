@@ -1,0 +1,185 @@
+// Concurrency stress tests for SnnServer: many submitter threads race against
+// the batching scheduler and the compute pool, and every returned logit
+// vector must still be bit-identical to a sequential golden on the same
+// input — batching composition, arena reuse and thread interleaving must
+// never leak into results. This suite (with serve_test and the thread-pool
+// suites) runs under the ThreadSanitizer CI lane.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "serve/server.h"
+#include "snn/event_sim.h"
+#include "snn/network.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace ttfs::serve {
+namespace {
+
+constexpr std::int64_t kThreads = 4;       // submitter threads
+constexpr std::int64_t kPerThread = 12;    // requests per submitter
+constexpr std::int64_t kTotal = kThreads * kPerThread;
+
+Tensor random_tensor(std::vector<std::int64_t> shape, Rng& rng, float lo, float hi) {
+  Tensor t{std::move(shape)};
+  for (std::int64_t i = 0; i < t.numel(); ++i) t[i] = rng.uniform_f(lo, hi);
+  return t;
+}
+
+snn::SnnNetwork make_net(Rng& rng) {
+  snn::SnnNetwork net{snn::Base2Kernel{24, 4.0, 1.0}};
+  net.add_conv(random_tensor({8, 3, 3, 3}, rng, -0.15F, 0.25F),
+               random_tensor({8}, rng, -0.05F, 0.1F), 1, 1);
+  net.add_pool(2, 2);
+  net.add_fc(random_tensor({10, 8 * 4 * 4}, rng, -0.1F, 0.12F),
+             random_tensor({10}, rng, -0.05F, 0.05F));
+  return net;
+}
+
+std::vector<Tensor> make_images(Rng& rng, std::int64_t n) {
+  std::vector<Tensor> images;
+  images.reserve(static_cast<std::size_t>(n));
+  for (std::int64_t i = 0; i < n; ++i) {
+    images.push_back(random_tensor({3, 8, 8}, rng, 0.0F, 1.0F));
+  }
+  return images;
+}
+
+void expect_rows_equal(const Tensor& got, const float* want, std::int64_t classes,
+                       std::int64_t request) {
+  ASSERT_EQ(got.numel(), classes) << "request " << request;
+  for (std::int64_t j = 0; j < classes; ++j) {
+    EXPECT_EQ(got[j], want[j]) << "request " << request << " logit " << j;
+  }
+}
+
+// N threads hammer submit() while the scheduler forms whatever batch mix the
+// interleaving produces; each future's logits must equal the sequential
+// golden of its own input bit for bit.
+void stress_backend(Backend backend) {
+  Rng rng{101};
+  const snn::SnnNetwork net = make_net(rng);
+  const auto images = make_images(rng, kTotal);
+
+  // Sequential goldens, computed before the server exists. The GEMM golden is
+  // classify() driven sample by sample on a zero-thread (inline) pool — the
+  // canonical sequential loop; the event golden is run_event_sim per image.
+  ThreadPool inline_pool{0};
+  Tensor goldens{{kTotal, 10}};
+  for (std::int64_t i = 0; i < kTotal; ++i) {
+    Tensor row;
+    if (backend == Backend::kGemm) {
+      row = net.classify(images[static_cast<std::size_t>(i)].reshaped({1, 3, 8, 8}), nullptr,
+                         &inline_pool);
+    } else {
+      row = snn::run_event_sim(net, images[static_cast<std::size_t>(i)]).logits;
+    }
+    ASSERT_EQ(row.numel(), 10);
+    std::copy(row.data(), row.data() + 10, goldens.data() + i * 10);
+  }
+
+  ThreadPool compute_pool{2};
+  ServeOptions opts;
+  opts.max_batch = 8;
+  opts.max_delay = std::chrono::microseconds{300};
+  opts.backend = backend;
+  opts.pool = &compute_pool;
+  SnnServer server{net, {3, 8, 8}, opts};
+
+  std::vector<std::future<ServeResult>> futures(static_cast<std::size_t>(kTotal));
+  std::vector<std::thread> submitters;
+  submitters.reserve(kThreads);
+  for (std::int64_t t = 0; t < kThreads; ++t) {
+    submitters.emplace_back([&, t] {
+      for (std::int64_t j = 0; j < kPerThread; ++j) {
+        const std::int64_t i = t * kPerThread + j;
+        futures[static_cast<std::size_t>(i)] =
+            server.submit(images[static_cast<std::size_t>(i)]).result;
+      }
+    });
+  }
+  for (auto& th : submitters) th.join();
+
+  for (std::int64_t i = 0; i < kTotal; ++i) {
+    ServeResult r = futures[static_cast<std::size_t>(i)].get();
+    ASSERT_EQ(r.status, RequestStatus::kOk) << "request " << i;
+    expect_rows_equal(r.logits, goldens.data() + i * 10, 10, i);
+  }
+  server.stop();
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(stats.submitted, static_cast<std::uint64_t>(kTotal));
+  EXPECT_EQ(stats.completed, static_cast<std::uint64_t>(kTotal));
+  EXPECT_GE(stats.batches_formed, static_cast<std::uint64_t>(kTotal / opts.max_batch));
+  EXPECT_GE(stats.mean_batch_size, 1.0);
+}
+
+TEST(ServeStress, EventSimBitIdenticalToSequentialGolden) {
+  stress_backend(Backend::kEventSim);
+}
+
+TEST(ServeStress, GemmBitIdenticalToSequentialClassifyGolden) {
+  stress_backend(Backend::kGemm);
+}
+
+// Cancellations race batch formation from every submitter thread; whatever
+// the interleaving, cancel() returning true must mean kCancelled and false
+// must mean the request was served with correct logits.
+TEST(ServeStress, CancellationChurnStaysConsistent) {
+  Rng rng{303};
+  const snn::SnnNetwork net = make_net(rng);
+  const auto images = make_images(rng, kTotal);
+  Tensor goldens{{kTotal, 10}};
+  for (std::int64_t i = 0; i < kTotal; ++i) {
+    const Tensor row = snn::run_event_sim(net, images[static_cast<std::size_t>(i)]).logits;
+    std::copy(row.data(), row.data() + 10, goldens.data() + i * 10);
+  }
+
+  ThreadPool compute_pool{2};
+  ServeOptions opts;
+  opts.max_batch = 4;
+  opts.max_delay = std::chrono::microseconds{200};
+  opts.pool = &compute_pool;
+  SnnServer server{net, {3, 8, 8}, opts};
+
+  std::vector<std::future<ServeResult>> futures(static_cast<std::size_t>(kTotal));
+  std::vector<char> cancel_won(static_cast<std::size_t>(kTotal), 0);
+  std::vector<std::thread> submitters;
+  submitters.reserve(kThreads);
+  for (std::int64_t t = 0; t < kThreads; ++t) {
+    submitters.emplace_back([&, t] {
+      for (std::int64_t j = 0; j < kPerThread; ++j) {
+        const std::int64_t i = t * kPerThread + j;
+        auto sub = server.submit(images[static_cast<std::size_t>(i)]);
+        futures[static_cast<std::size_t>(i)] = std::move(sub.result);
+        if (j % 2 == 1) {  // try to rip every other request back out
+          cancel_won[static_cast<std::size_t>(i)] = server.cancel(sub.id) ? 1 : 0;
+        }
+      }
+    });
+  }
+  for (auto& th : submitters) th.join();
+
+  std::uint64_t cancelled = 0;
+  for (std::int64_t i = 0; i < kTotal; ++i) {
+    ServeResult r = futures[static_cast<std::size_t>(i)].get();
+    if (cancel_won[static_cast<std::size_t>(i)] != 0) {
+      EXPECT_EQ(r.status, RequestStatus::kCancelled) << "request " << i;
+      ++cancelled;
+    } else {
+      ASSERT_EQ(r.status, RequestStatus::kOk) << "request " << i;
+      expect_rows_equal(r.logits, goldens.data() + i * 10, 10, i);
+    }
+  }
+  server.stop();
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(stats.cancelled, cancelled);
+  EXPECT_EQ(stats.completed + stats.cancelled, static_cast<std::uint64_t>(kTotal));
+  EXPECT_EQ(stats.rejected, 0U);
+}
+
+}  // namespace
+}  // namespace ttfs::serve

@@ -2,12 +2,15 @@
 
 #include <atomic>
 #include <fstream>
+#include <mutex>
 #include <set>
 #include <sstream>
+#include <vector>
 
 #include "util/check.h"
 #include "util/cli.h"
 #include "util/env.h"
+#include "util/latency_histogram.h"
 #include "util/rng.h"
 #include "util/table.h"
 #include "util/thread_pool.h"
@@ -127,6 +130,125 @@ TEST(ThreadPool, NestedCallsRunInline) {
     }
   });
   EXPECT_EQ(total.load(), 12);
+}
+
+TEST(ThreadPool, MaxChunksEmptyRangeIsZero) {
+  ThreadPool pool{4};
+  EXPECT_EQ(pool.max_chunks(5, 5), 0U);
+  EXPECT_EQ(pool.max_chunks(5, 3), 0U);
+}
+
+TEST(ThreadPool, MaxChunksBoundedByRangeAndWorkers) {
+  ThreadPool pool{4};
+  EXPECT_EQ(pool.max_chunks(0, 1), 1U);
+  EXPECT_EQ(pool.max_chunks(0, 3), 3U);   // range smaller than pool
+  EXPECT_EQ(pool.max_chunks(0, 4), 4U);
+  EXPECT_EQ(pool.max_chunks(0, 100), 4U);  // capped by workers
+  ThreadPool inline_pool{0};
+  EXPECT_EQ(inline_pool.max_chunks(0, 100), 1U);  // inline: one chunk
+}
+
+TEST(ThreadPool, IndexedEmptyRangeNeverCalls) {
+  ThreadPool pool{2};
+  bool called = false;
+  pool.parallel_for_indexed(7, 7, [&](std::size_t, std::int64_t, std::int64_t) {
+    called = true;
+  });
+  EXPECT_FALSE(called);
+}
+
+TEST(ThreadPool, IndexedRangeSmallerThanPoolRunsEachIndexOnce) {
+  ThreadPool pool{8};
+  const std::size_t chunks = pool.max_chunks(0, 3);
+  ASSERT_EQ(chunks, 3U);
+  std::vector<std::atomic<int>> index_hits(chunks);
+  std::vector<std::atomic<int>> element_hits(3);
+  std::mutex mu;  // guards the nothing-above-max_chunks assertion path
+  pool.parallel_for_indexed(0, 3, [&](std::size_t idx, std::int64_t lo, std::int64_t hi) {
+    const std::lock_guard<std::mutex> lock{mu};
+    ASSERT_LT(idx, chunks);  // indices stay within what max_chunks promised
+    index_hits[idx]++;
+    for (std::int64_t i = lo; i < hi; ++i) element_hits[static_cast<std::size_t>(i)]++;
+  });
+  for (const auto& h : index_hits) EXPECT_EQ(h.load(), 1);    // each index exactly once
+  for (const auto& h : element_hits) EXPECT_EQ(h.load(), 1);  // full coverage, no overlap
+}
+
+TEST(ThreadPool, IndexedZeroWorkerPoolRunsWholeRangeAsChunkZero) {
+  ThreadPool pool{0};
+  int calls = 0;
+  pool.parallel_for_indexed(2, 9, [&](std::size_t idx, std::int64_t lo, std::int64_t hi) {
+    ++calls;
+    EXPECT_EQ(idx, 0U);
+    EXPECT_EQ(lo, 2);
+    EXPECT_EQ(hi, 9);
+  });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ThreadPool, IndexedPropagatesExceptionFromChunk) {
+  ThreadPool pool{4};
+  EXPECT_THROW(
+      pool.parallel_for_indexed(0, 8,
+                                [](std::size_t idx, std::int64_t, std::int64_t) {
+                                  if (idx == 1) throw std::runtime_error{"chunk boom"};
+                                }),
+      std::runtime_error);
+  // The pool survives a throwing chunk and schedules normally afterwards.
+  std::atomic<int> total{0};
+  pool.parallel_for_indexed(0, 8, [&](std::size_t, std::int64_t lo, std::int64_t hi) {
+    total += static_cast<int>(hi - lo);
+  });
+  EXPECT_EQ(total.load(), 8);
+}
+
+TEST(LatencyHistogram, EmptyReportsZero) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.count(), 0U);
+  EXPECT_EQ(h.mean(), 0.0);
+  EXPECT_EQ(h.quantile(0.5), 0.0);
+}
+
+TEST(LatencyHistogram, MeanIsExact) {
+  LatencyHistogram h;
+  h.record(0.001);
+  h.record(0.003);
+  h.record(0.008);
+  EXPECT_EQ(h.count(), 3U);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.004);
+}
+
+TEST(LatencyHistogram, QuantilesApproximateWithinBucketError) {
+  LatencyHistogram h;
+  // 100 samples at 1ms, 10 at 100ms: p50 ~ 1ms, p95 ~ 1ms, p99 ~ 100ms.
+  for (int i = 0; i < 100; ++i) h.record(0.001);
+  for (int i = 0; i < 10; ++i) h.record(0.1);
+  EXPECT_NEAR(h.quantile(0.50), 0.001, 0.0005);
+  EXPECT_NEAR(h.quantile(0.90), 0.001, 0.0005);
+  EXPECT_NEAR(h.quantile(0.99), 0.1, 0.05);
+}
+
+TEST(LatencyHistogram, QuantilesAreMonotone) {
+  LatencyHistogram h;
+  Rng rng{5};
+  for (int i = 0; i < 1000; ++i) h.record(rng.uniform(1e-5, 1.0));
+  double prev = 0.0;
+  for (const double q : {0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 1.0}) {
+    const double v = h.quantile(q);
+    EXPECT_GE(v, prev) << "q=" << q;
+    prev = v;
+  }
+}
+
+TEST(LatencyHistogram, OutOfRangeValuesClampToEdgeBuckets) {
+  LatencyHistogram h{1e-3, 1.0, 1.25};
+  h.record(1e-9);   // below range -> lowest bucket
+  h.record(50.0);   // above range -> highest bucket
+  EXPECT_EQ(h.count(), 2U);
+  EXPECT_LE(h.quantile(0.25), 2e-3);
+  EXPECT_GE(h.quantile(0.99), 0.5);
+  h.reset();
+  EXPECT_EQ(h.count(), 0U);
 }
 
 TEST(Table, PrintAndCsv) {
