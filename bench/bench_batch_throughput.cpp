@@ -1,16 +1,19 @@
-// Batched-inference throughput: samples/sec of the event-driven simulator and
-// the GEMM classify() path at batch sizes 1 / 8 / 64.
+// Batched-inference throughput: samples/sec of one snn::Engine backend at
+// batch sizes 1 / 8 / 64.
 //
-// Batch 1 is the sequential baseline (parallel_for runs a single sample
+// Batch 1 is the sequential baseline (the session runs a single sample
 // inline on the caller); larger batches fan samples out across the thread
 // pool, so on an M-core host the expected speedup approaches min(M, batch).
-// The batched path is bit-identical to the sequential loop (see
-// tests/snn_cross_validation_test.cpp), so this measures pure scheduling win.
+// The session is bit-identical to the backend's sequential loop (see
+// tests/snn_engine_test.cpp), so this measures pure scheduling win.
 //
-//   ./build/bench/bench_batch_throughput [--samples N] [--reps R] [--json]
+//   ./build/bench/bench_batch_throughput [--samples N] [--reps R]
+//                                        [--backend event|gemm|reference] [--json]
 //
-// TTFS_THREADS caps the pool as everywhere else. With --json the table is
-// also written to BENCH_batch_throughput.json for CI artifact upload.
+// The backend defaults to the event simulator; CI's perf-smoke job runs one
+// pass per backend, so every BENCH_batch_throughput_<backend>.json record
+// carries a "backend" field and the per-backend trajectories can be compared
+// commit over commit. TTFS_THREADS caps the pool as everywhere else.
 #include <algorithm>
 #include <chrono>
 #include <iostream>
@@ -18,7 +21,7 @@
 #include <vector>
 
 #include "common.h"
-#include "snn/event_sim.h"
+#include "snn/engine.h"
 #include "snn/network.h"
 #include "util/cli.h"
 #include "util/rng.h"
@@ -62,41 +65,49 @@ int main(int argc, char** argv) {
   const int reps = args.get_int("reps", 3);
   const std::vector<std::int64_t> batch_sizes{1, 8, 64};
 
+  const snn::BackendKind kind = bench::backend_kind(snn::BackendKind::kEventSim);
+  const std::string backend = snn::to_string(kind);
+
   Rng rng{42};
   const snn::SnnNetwork net = make_net(rng);
   const Tensor images = random_tensor({samples, 3, 16, 16}, rng, 0.0F, 1.0F);
 
-  std::cout << "\n### batch throughput — " << samples << " samples, pool of "
-            << global_pool().size() << " worker(s), best of " << reps << " reps\n\n";
+  std::cout << "\n### batch throughput — backend " << backend << ", " << samples
+            << " samples, pool of " << global_pool().size() << " worker(s), best of " << reps
+            << " reps\n\n";
 
-  Table table{"batch_throughput"};
-  table.set_header({"path", "batch", "samples/s", "speedup vs batch 1"});
+  Table table{"batch_throughput_" + backend};
+  table.set_header({"backend", "batch", "samples/s", "speedup vs batch 1"});
+
+  snn::SessionOptions sopts;
+  sopts.max_batch_hint = batch_sizes.back();
+  sopts.input_shape = {3, 16, 16};
+  snn::InferenceSession session = snn::Engine{net}.session(kind, std::move(sopts));
+  // Event-style backends materialize traces like their historical batch
+  // entry point did; the GEMM path measures logits only, as classify() did.
+  snn::RunOptions ropts;
+  ropts.logits = true;
+  ropts.traces = session.backend().supports_traces();
 
   std::int64_t checksum = 0;  // keeps the measured work observable
-  for (const std::string path : {"event_sim", "classify"}) {
-    const bool event = path == "event_sim";
-    double base_rate = 0.0;
-    for (const std::int64_t batch : batch_sizes) {
-      double best = 0.0;
-      for (int rep = 0; rep < reps; ++rep) {
-        const auto start = std::chrono::steady_clock::now();
-        for (std::int64_t at = 0; at < samples; at += batch) {
-          const std::int64_t count = std::min(batch, samples - at);
-          const Tensor chunk = images.slice0(at, count);
-          if (event) {
-            checksum += snn::run_event_sim_batch(net, chunk).total_spikes();
-          } else {
-            // Read a computed value so the logits can't be dead-code
-            // eliminated.
-            checksum += static_cast<std::int64_t>(net.classify(chunk)[0] * 1000.0F);
-          }
-        }
-        best = std::max(best, static_cast<double>(samples) / seconds_since(start));
+  double base_rate = 0.0;
+  for (const std::int64_t batch : batch_sizes) {
+    double best = 0.0;
+    for (int rep = 0; rep < reps; ++rep) {
+      const auto start = std::chrono::steady_clock::now();
+      for (std::int64_t at = 0; at < samples; at += batch) {
+        const std::int64_t count = std::min(batch, samples - at);
+        const Tensor chunk = images.slice0(at, count);
+        const snn::RunResult run = session.run(snn::BatchView{chunk}, ropts);
+        // Read computed values so the work can't be dead-code eliminated.
+        checksum += static_cast<std::int64_t>(run.logits[0] * 1000.0F);
+        for (const snn::EventTrace& t : run.traces) checksum += t.total_spikes();
       }
-      if (batch == 1) base_rate = best;
-      table.add_row({path, std::to_string(batch), Table::num(best, 1),
-                     Table::num(base_rate > 0.0 ? best / base_rate : 0.0, 2) + "x"});
+      best = std::max(best, static_cast<double>(samples) / seconds_since(start));
     }
+    if (batch == 1) base_rate = best;
+    table.add_row({backend, std::to_string(batch), Table::num(best, 1),
+                   Table::num(base_rate > 0.0 ? best / base_rate : 0.0, 2) + "x"});
   }
   bench::emit(table);
   std::cout << "(checksum " << checksum << ")\n";

@@ -1,7 +1,9 @@
 // Event-simulator hot-path benchmark: the overhauled simulator (repacked
 // weights, step-bucketed fire phase, arena-reused scratch) against the frozen
 // pre-overhaul reference on a VGG-style conv stack — the workload that
-// dominates every accuracy sweep and hardware-model run.
+// dominates every accuracy sweep and hardware-model run. Both run as
+// snn::Engine sessions (kEventSim vs kReference) over single-sample batches,
+// so what is measured is exactly what every migrated caller executes.
 //
 // Both simulators are run on identical samples and their spike/op/cycle
 // checksums are compared, so the reported speedup is for bit-identical work
@@ -18,8 +20,8 @@
 #include <vector>
 
 #include "common.h"
+#include "snn/engine.h"
 #include "snn/event_sim.h"
-#include "snn/event_sim_reference.h"
 #include "snn/network.h"
 #include "util/cli.h"
 #include "util/rng.h"
@@ -80,7 +82,11 @@ int main(int argc, char** argv) {
 
   Rng rng{42};
   const snn::SnnNetwork net = make_vgg_style(rng);
-  const Tensor images = random_tensor({samples, 3, 32, 32}, rng, 0.0F, 1.0F);
+  std::vector<Tensor> samples_owned;
+  samples_owned.reserve(static_cast<std::size_t>(samples));
+  for (std::int64_t i = 0; i < samples; ++i) {
+    samples_owned.push_back(random_tensor({3, 32, 32}, rng, 0.0F, 1.0F));
+  }
 
   std::cout << "\n### event-sim hot path — VGG-style stack, " << samples
             << " single-sample runs, best of " << reps << " reps\n\n";
@@ -88,28 +94,40 @@ int main(int argc, char** argv) {
   Table table{"event_sim_hotpath"};
   table.set_header({"simulator", "samples/s", "us/sample", "speedup"});
 
+  const snn::Engine engine{net};
+  snn::RunOptions ropts;
+  ropts.logits = false;
+  ropts.traces = true;
+
+  // One single-sample run per iteration, mirroring the per-request shape of
+  // the serving layer; the overhauled session keeps its one pre-reserved
+  // arena across the whole loop (zero steady-state allocation).
+  const auto measure = [&](snn::InferenceSession& session, std::uint64_t& sum) {
+    double rate = 0.0;
+    for (int rep = 0; rep < reps; ++rep) {
+      sum = 0;
+      const auto start = std::chrono::steady_clock::now();
+      for (std::int64_t i = 0; i < samples; ++i) {
+        const std::vector<const Tensor*> one{&samples_owned[static_cast<std::size_t>(i)]};
+        sum += checksum(session.run(snn::BatchView{one}, ropts).traces[0]);
+      }
+      rate = std::max(rate, static_cast<double>(samples) / seconds_since(start));
+    }
+    return rate;
+  };
+
   double rate_ref = 0.0, rate_opt = 0.0;
   std::uint64_t sum_ref = 0, sum_opt = 0;
 
-  for (int rep = 0; rep < reps; ++rep) {
-    sum_ref = 0;
-    const auto start = std::chrono::steady_clock::now();
-    for (std::int64_t i = 0; i < samples; ++i) {
-      sum_ref += checksum(snn::reference::run_event_sim(net, images.sample0(i)));
-    }
-    rate_ref = std::max(rate_ref, static_cast<double>(samples) / seconds_since(start));
-  }
+  snn::InferenceSession ref_session = engine.session(snn::BackendKind::kReference);
+  rate_ref = measure(ref_session, sum_ref);
 
-  snn::SimArena arena;
-  arena.reserve_for(net, 3, 32, 32);
-  for (int rep = 0; rep < reps; ++rep) {
-    sum_opt = 0;
-    const auto start = std::chrono::steady_clock::now();
-    for (std::int64_t i = 0; i < samples; ++i) {
-      sum_opt += checksum(snn::run_event_sim(net, images.sample0(i), arena));
-    }
-    rate_opt = std::max(rate_opt, static_cast<double>(samples) / seconds_since(start));
-  }
+  snn::SessionOptions sopts;
+  sopts.max_batch_hint = 1;
+  sopts.input_shape = {3, 32, 32};
+  snn::InferenceSession opt_session =
+      engine.session(snn::BackendKind::kEventSim, std::move(sopts));
+  rate_opt = measure(opt_session, sum_opt);
 
   table.add_row({"reference", Table::num(rate_ref, 1), Table::num(1e6 / rate_ref, 1), "1.00x"});
   table.add_row({"overhauled", Table::num(rate_opt, 1), Table::num(1e6 / rate_opt, 1),

@@ -2,7 +2,8 @@
 // SnnServer at a sweep of (max_batch, concurrent clients) configurations on
 // the VGG-style event-sim workload.
 //
-//   ./build/bench/bench_serving_latency [--requests N] [--reps R] [--json]
+//   ./build/bench/bench_serving_latency [--requests N] [--reps R]
+//                                       [--backend event|gemm|reference] [--json]
 //
 // Each cell runs `clients` threads, every thread submitting its share of
 // `requests` back to back (submit, wait on the future, repeat), and reports
@@ -14,8 +15,10 @@
 // min(cores, max_batch) on an idle multi-core host. On a single core the
 // ratio stays ~1x: batching amortizes scheduling, it cannot mint compute.
 //
-// TTFS_THREADS caps the compute pool as everywhere else. With --json the
-// table is also written to BENCH_serving_latency.json for CI artifacts.
+// The server runs the injected --backend realization (event simulator by
+// default); CI's perf-smoke job runs one pass per backend so every
+// BENCH_serving_latency_<backend>.json record carries a "backend" field.
+// TTFS_THREADS caps the compute pool as everywhere else.
 #include <chrono>
 #include <iostream>
 #include <string>
@@ -24,6 +27,7 @@
 
 #include "common.h"
 #include "serve/server.h"
+#include "snn/engine.h"
 #include "snn/network.h"
 #include "util/cli.h"
 #include "util/rng.h"
@@ -62,6 +66,7 @@ struct CellResult {
 // One sweep cell: `clients` closed-loop threads push `requests` total through
 // a fresh server; best-of-`reps` wall-clock rate.
 CellResult run_cell(const snn::SnnNetwork& net, const std::vector<Tensor>& images,
+                    std::shared_ptr<const snn::InferenceBackend> backend,
                     std::int64_t max_batch, std::int64_t clients, int reps) {
   CellResult out;
   const std::int64_t requests = static_cast<std::int64_t>(images.size());
@@ -69,6 +74,7 @@ CellResult run_cell(const snn::SnnNetwork& net, const std::vector<Tensor>& image
     serve::ServeOptions opts;
     opts.max_batch = max_batch;
     opts.max_delay = std::chrono::microseconds{500};
+    opts.backend = backend;
     serve::SnnServer server{net, {3, 16, 16}, opts};
 
     const auto start = std::chrono::steady_clock::now();
@@ -106,6 +112,10 @@ int main(int argc, char** argv) {
   const std::vector<std::int64_t> batch_sweep{1, 4, 16};
   const std::vector<std::int64_t> client_sweep{1, 4, 16};
 
+  const snn::BackendKind kind = bench::backend_kind(snn::BackendKind::kEventSim);
+  const std::string backend_name = snn::to_string(kind);
+  const std::shared_ptr<const snn::InferenceBackend> backend = snn::make_backend(kind);
+
   Rng rng{42};
   const snn::SnnNetwork net = make_net(rng);
   std::vector<Tensor> images;
@@ -114,24 +124,25 @@ int main(int argc, char** argv) {
     images.push_back(random_tensor({3, 16, 16}, rng, 0.0F, 1.0F));
   }
 
-  std::cout << "\n### serving latency — " << requests << " requests/cell, compute pool of "
-            << global_pool().size() << " worker(s), best of " << reps << " reps\n\n";
+  std::cout << "\n### serving latency — backend " << backend_name << ", " << requests
+            << " requests/cell, compute pool of " << global_pool().size()
+            << " worker(s), best of " << reps << " reps\n\n";
 
-  Table table{"serving_latency"};
-  table.set_header({"max_batch", "clients", "reqs/s", "mean batch", "p50 ms", "p95 ms",
-                    "speedup vs max_batch=1"});
+  Table table{"serving_latency_" + backend_name};
+  table.set_header({"backend", "max_batch", "clients", "reqs/s", "mean batch", "p50 ms",
+                    "p95 ms", "speedup vs max_batch=1"});
 
   double batched_speedup_at_load = 0.0;
   for (const std::int64_t clients : client_sweep) {
     double base_rate = 0.0;
     for (const std::int64_t max_batch : batch_sweep) {
-      const CellResult cell = run_cell(net, images, max_batch, clients, reps);
+      const CellResult cell = run_cell(net, images, backend, max_batch, clients, reps);
       if (max_batch == 1) base_rate = cell.rate;
       const double speedup = base_rate > 0.0 ? cell.rate / base_rate : 0.0;
       if (clients == client_sweep.back()) {
         batched_speedup_at_load = std::max(batched_speedup_at_load, speedup);
       }
-      table.add_row({std::to_string(max_batch), std::to_string(clients),
+      table.add_row({backend_name, std::to_string(max_batch), std::to_string(clients),
                      Table::num(cell.rate, 1), Table::num(cell.stats.mean_batch_size, 2),
                      Table::num(cell.stats.latency_p50_ms, 3),
                      Table::num(cell.stats.latency_p95_ms, 3), Table::num(speedup, 2) + "x"});

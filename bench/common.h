@@ -22,6 +22,7 @@
 #include "nn/metrics.h"
 #include "nn/serialize.h"
 #include "nn/vgg.h"
+#include "snn/engine.h"
 #include "util/cli.h"
 #include "util/env.h"
 #include "util/logging.h"
@@ -37,10 +38,26 @@ inline bool& json_mode() {
   return enabled;
 }
 
-// Call at the top of every bench main: parses the shared flags (--json).
+// Process-wide --backend flag (gemm|event|reference): which snn::Engine
+// realization inference-driven benches run. Empty until --backend is passed;
+// resolve through backend_kind(fallback) so each bench keeps its historical
+// default (gemm for the accuracy tables, event for the serving/throughput
+// benches).
+inline std::string& backend_flag() {
+  static std::string name;
+  return name;
+}
+
+inline snn::BackendKind backend_kind(snn::BackendKind fallback) {
+  return backend_flag().empty() ? fallback : snn::backend_kind_from_string(backend_flag());
+}
+
+// Call at the top of every bench main: parses the shared flags
+// (--json, --backend).
 inline void init(int argc, char** argv) {
   const CliArgs args{argc, argv};
   json_mode() = args.get_flag("json");
+  backend_flag() = args.get_string("backend", "");
 }
 
 // Filesystem-safe slug of a table title.
@@ -123,10 +140,14 @@ inline TrainedModel get_trained(const DatasetCase& ds, cat::TrainConfig cfg) {
   return out;
 }
 
-// Accuracy of an SnnNetwork on a labelled set, through the shared harness.
+// Accuracy of an SnnNetwork on a labelled set through an engine session on
+// the --backend realization (GEMM by default — bit-identical to the
+// historical full-batch forward() evaluation).
 inline double snn_accuracy(const snn::SnnNetwork& net, const data::LabeledData& test) {
+  snn::InferenceSession session =
+      snn::Engine{net}.session(backend_kind(snn::BackendKind::kGemm));
   return nn::evaluate_accuracy_fn(
-      [&net](const Tensor& images) { return net.forward(images); },
+      [&session](const Tensor& images) { return session.run(snn::BatchView{images}).logits; },
       data::make_batches(test, 64, nullptr));
 }
 

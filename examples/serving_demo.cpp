@@ -2,11 +2,13 @@
 //
 //   ./build/examples/serving_demo [--requests 12] [--clients 3]
 //                                 [--max-batch 4] [--max-delay-us 2000]
+//                                 [--backend event|gemm|reference]
 //
 // Three things in ~80 lines:
 //   1. concurrent clients submit single images and get futures back;
-//   2. the dynamic micro-batcher forms batches (size or deadline) and the
-//      per-request results are bit-identical to sequential inference;
+//   2. the dynamic micro-batcher forms batches (size or deadline), runs them
+//      through the injected snn::InferenceBackend, and the per-request
+//      results are bit-identical to sequential inference on that backend;
 //   3. cancellation and graceful drain, with the server's own stats line.
 #include <chrono>
 #include <iostream>
@@ -15,6 +17,7 @@
 #include <vector>
 
 #include "serve/server.h"
+#include "snn/engine.h"
 #include "snn/network.h"
 #include "util/cli.h"
 #include "util/rng.h"
@@ -51,9 +54,12 @@ int main(int argc, char** argv) {
   serve::ServeOptions opts;
   opts.max_batch = max_batch;
   opts.max_delay = std::chrono::microseconds{max_delay_us};
+  // Any snn::InferenceBackend plugs in here — stock or caller-defined.
+  opts.backend = snn::make_backend(
+      snn::backend_kind_from_string(args.get_string("backend", "event")));
   serve::SnnServer server{net, {3, 8, 8}, opts};
   std::cout << "server up: max_batch=" << max_batch << " max_delay=" << max_delay_us
-            << "us backend=event_sim\n";
+            << "us backend=" << server.backend().name() << "\n";
 
   // Concurrent clients, each submitting its share and printing as results
   // land. Futures make the blocking point explicit per request.

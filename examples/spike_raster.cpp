@@ -11,7 +11,7 @@
 #include "cat/trainer.h"
 #include "data/synthetic.h"
 #include "nn/vgg.h"
-#include "snn/event_sim.h"
+#include "snn/engine.h"
 #include "util/cli.h"
 #include "util/table.h"
 
@@ -36,11 +36,17 @@ int main(int argc, char** argv) {
   (void)cat::train_cat(model, train, test, cfg);
   snn::SnnNetwork net = cat::convert_to_snn(model, cfg.kernel(), train);
 
-  // One test image through the event simulator.
+  // One test image through an engine session on the event-sim backend; the
+  // full spike trace is just a RunOptions request away.
   const std::int64_t pix = test.images.numel() / test.size();
   Tensor img{{3, spec.image, spec.image},
              std::vector<float>(test.images.data(), test.images.data() + pix)};
-  const snn::EventTrace trace = snn::run_event_sim(net, img);
+  snn::InferenceSession session = snn::Engine{net}.session(snn::BackendKind::kEventSim);
+  snn::RunOptions ropts;
+  ropts.logits = false;  // trace.logits carries them
+  ropts.traces = true;
+  const std::vector<const Tensor*> one{&img};
+  const snn::EventTrace trace = std::move(session.run(snn::BatchView{one}, ropts).traces[0]);
 
   std::filesystem::create_directories(out_dir);
   std::ofstream raster{out_dir + "/raster.csv"};

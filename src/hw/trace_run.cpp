@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
 #include <variant>
+#include <vector>
 
-#include "snn/event_sim.h"
+#include "snn/engine.h"
 #include "util/check.h"
 
 namespace ttfs::hw {
@@ -12,9 +14,21 @@ namespace ttfs::hw {
 ProcessorReport run_processor_on_trace(const SnnProcessorModel& model,
                                        const snn::SnnNetwork& net, const Tensor& image) {
   TTFS_CHECK(image.rank() == 3);
+  snn::InferenceSession session =
+      snn::Engine{net}.session(snn::BackendKind::kEventSim);
+  snn::RunOptions opts;
+  opts.logits = false;
+  opts.traces = true;
+  const std::vector<const Tensor*> one{&image};
+  snn::RunResult run = session.run(snn::BatchView{one}, opts);
+  return price_trace(model, net, run.traces[0], image.dim(1), image.dim(2));
+}
+
+ProcessorReport price_trace(const SnnProcessorModel& model, const snn::SnnNetwork& net,
+                            const snn::EventTrace& trace, std::int64_t input_h,
+                            std::int64_t input_w) {
   const ArchConfig& arch = model.arch();
   const TechParams& tech = model.tech();
-  const snn::EventTrace trace = snn::run_event_sim(net, image);
 
   ProcessorReport report;
   report.workload = "trace";
@@ -36,9 +50,7 @@ ProcessorReport run_processor_on_trace(const SnnProcessorModel& model,
 
   std::size_t phase = 0;  // trace phase feeding the next layer
   std::size_t weighted_seen = 0;
-  Tensor probe = image;  // geometry tracking only
-  std::int64_t hin = image.dim(1), win = image.dim(2);
-  (void)probe;
+  std::int64_t hin = input_h, win = input_w;  // geometry tracking only
 
   for (const auto& layer : net.layers()) {
     if (const auto* pool = std::get_if<snn::SnnPool>(&layer)) {

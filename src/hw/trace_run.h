@@ -8,14 +8,24 @@
 #pragma once
 
 #include "hw/processor.h"
+#include "snn/event_sim.h"
 #include "snn/network.h"
 #include "tensor/tensor.h"
 
 namespace ttfs::hw {
 
-// Runs `image` through the event simulator and prices the resulting spike
-// trace on the processor configuration. The report has one layer entry per
+// Prices an already-simulated spike trace of `net` on the processor
+// configuration; (input_h, input_w) is the simulated image's spatial size
+// (needed to walk the layer geometry). The report has one layer entry per
 // weighted layer (pools are folded into their source stage, as in hardware).
+// Callers that batch many images through one snn::InferenceSession
+// (RunOptions::traces) feed each RunResult trace through here.
+ProcessorReport price_trace(const SnnProcessorModel& model, const snn::SnnNetwork& net,
+                            const snn::EventTrace& trace, std::int64_t input_h,
+                            std::int64_t input_w);
+
+// Convenience: runs `image` through an event-sim engine session and prices
+// the resulting trace.
 ProcessorReport run_processor_on_trace(const SnnProcessorModel& model,
                                        const snn::SnnNetwork& net, const Tensor& image);
 

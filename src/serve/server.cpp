@@ -1,8 +1,6 @@
 #include "serve/server.h"
 
-#include <algorithm>
 #include <utility>
-#include <variant>
 
 #include "util/check.h"
 #include "util/thread_pool.h"
@@ -11,75 +9,32 @@ namespace ttfs::serve {
 
 namespace {
 
-std::int64_t argmax(const Tensor& logits) {
-  if (logits.numel() == 0) return -1;
-  const float* d = logits.data();
-  std::int64_t best = 0;
-  for (std::int64_t i = 1; i < logits.numel(); ++i) {
-    if (d[i] > d[best]) best = i;
-  }
-  return best;
-}
-
 double seconds_since(std::chrono::steady_clock::time_point start) {
   return std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
 }
 
-// Maps an EventTrace onto forward()-style SnnRunStats: one entry for the
-// input encoding plus one per hidden weighted layer. Pool entries exist in
-// the trace (they reshuffle spikes) but emit nothing anew, so they are
-// skipped to keep the layout identical across backends.
-snn::SnnRunStats stats_from_trace(const snn::SnnNetwork& net, const snn::EventTrace& trace) {
-  snn::SnnRunStats s;
-  s.images = 1;
-  const std::size_t weighted = net.weighted_layer_count();
-  s.spikes_per_layer.reserve(weighted);
-  s.neurons_per_layer.reserve(weighted);
-  const auto add = [&s](const snn::LayerEventTrace& lt) {
-    s.spikes_per_layer.push_back(static_cast<std::int64_t>(lt.spikes.size()));
-    s.neurons_per_layer.push_back(lt.neuron_count);
-  };
-  add(trace.layers[0]);  // input encoding
-  // trace.layers[ti] corresponds to net.layers()[ti - 1]; the output layer
-  // never fires so the trace runs out exactly at the final weighted layer.
-  std::size_t ti = 1;
-  for (const auto& layer : net.layers()) {
-    if (ti >= trace.layers.size()) break;
-    if (std::holds_alternative<snn::SnnPool>(layer)) {
-      ++ti;
-      continue;
-    }
-    add(trace.layers[ti++]);
-  }
-  return s;
+snn::SessionOptions session_options(const std::vector<std::int64_t>& input_shape,
+                                    const ServeOptions& opts) {
+  snn::SessionOptions sopts;
+  sopts.pool = opts.pool;
+  sopts.max_batch_hint = opts.max_batch;
+  sopts.input_shape = input_shape;
+  return sopts;
 }
 
 }  // namespace
 
 SnnServer::SnnServer(const snn::SnnNetwork& net, std::vector<std::int64_t> input_shape,
                      ServeOptions opts)
-    : net_{net},
-      input_shape_{std::move(input_shape)},
+    : input_shape_{std::move(input_shape)},
       opts_{opts},
-      pool_{opts.pool != nullptr ? *opts.pool : global_pool()},
+      session_{net,
+               opts.backend != nullptr ? opts.backend
+                                       : snn::make_backend(snn::BackendKind::kEventSim),
+               session_options(input_shape_, opts_)},
       batcher_{BatcherOptions{opts.max_batch, opts.max_delay}} {
   TTFS_CHECK_MSG(input_shape_.size() == 3, "input_shape must be (C, H, W)");
   for (const std::int64_t d : input_shape_) TTFS_CHECK(d > 0);
-  // Build the weight pack while this constructor is still the only thread
-  // touching the network; after this, every path through the server reads it
-  // only (ensure_packed is also lock-protected, so this is belt and braces).
-  net_.ensure_packed();
-  if (opts_.backend == Backend::kEventSim) {
-    // Sized from the pool's worker count directly, not max_chunks(): that
-    // helper returns 1 when called *from* a pool worker thread, but batches
-    // run on the scheduler thread (never a worker), which can use up to
-    // min(max_batch, workers) chunks no matter where the server was built.
-    const std::int64_t workers = std::max<std::int64_t>(1, pool_.size());
-    arenas_.resize(static_cast<std::size_t>(std::min<std::int64_t>(opts_.max_batch, workers)));
-    for (auto& arena : arenas_) {
-      arena.reserve_for(net_, input_shape_[0], input_shape_[1], input_shape_[2]);
-    }
-  }
   scheduler_ = std::thread{[this] { scheduler_loop(); }};
 }
 
@@ -144,40 +99,33 @@ void SnnServer::run_batch(std::vector<PendingRequest> batch) {
   stats_.on_batch();
   const std::int64_t n = static_cast<std::int64_t>(batch.size());
   try {
-    std::vector<ServeResult> results(batch.size());
-    // Both backends take the gathered form — request images are used where
-    // they sit, no (N, C, H, W) assembly copy on the scheduler thread.
+    // One backend-agnostic path: the session views request images where they
+    // sit (no (N, C, H, W) assembly copy on the scheduler thread) and
+    // materializes exactly what a ServeResult carries — unmerged logit rows,
+    // so each request takes its own row with no (N, classes) round trip.
     std::vector<const Tensor*> images;
     images.reserve(batch.size());
     for (const PendingRequest& req : batch) images.push_back(&req.image);
-    if (opts_.backend == Backend::kEventSim) {
-      // Arenas are reused across the server's whole lifetime; the (N, classes)
-      // merge is skipped since each request takes its own trace's logits.
-      snn::BatchEventResult res = snn::run_event_sim_batch(net_, images, &arenas_, &pool_,
-                                                           /*merge_logits=*/false);
-      for (std::int64_t i = 0; i < n; ++i) {
-        const std::size_t idx = static_cast<std::size_t>(i);
-        results[idx].stats = stats_from_trace(net_, res.traces[idx]);
-        results[idx].logits = std::move(res.traces[idx].logits);
-      }
-    } else {
-      std::vector<snn::SnnRunStats> per_sample;
-      const Tensor logits = net_.classify_each(images, &per_sample, &pool_);
-      for (std::int64_t i = 0; i < n; ++i) {
-        const std::size_t idx = static_cast<std::size_t>(i);
-        results[idx].stats = std::move(per_sample[idx]);
-        results[idx].logits = logits.slice0(i, 1);
-      }
-    }
+    snn::RunOptions ropts;
+    ropts.logits = false;
+    ropts.logit_rows = true;
+    ropts.predictions = true;
+    ropts.stats = true;
+    snn::RunResult run = session_.run(snn::BatchView{images}, ropts);
+
     // FIFO completion: futures resolve in submission order, latency stamped
     // at resolution.
-    for (std::size_t i = 0; i < batch.size(); ++i) {
-      results[i].status = RequestStatus::kOk;
-      results[i].predicted = argmax(results[i].logits);
-      const double latency = seconds_since(batch[i].enqueued);
-      results[i].latency_seconds = latency;
+    for (std::int64_t i = 0; i < n; ++i) {
+      const std::size_t idx = static_cast<std::size_t>(i);
+      ServeResult r;
+      r.status = RequestStatus::kOk;
+      r.logits = std::move(run.logit_rows[idx]);
+      r.predicted = run.predicted[idx];
+      r.stats = std::move(run.stats[idx]);
+      const double latency = seconds_since(batch[idx].enqueued);
+      r.latency_seconds = latency;
       stats_.on_complete(latency);
-      batch[i].promise.set_value(std::move(results[i]));
+      batch[idx].promise.set_value(std::move(r));
     }
   } catch (...) {
     // A backend failure poisons the whole batch; waiters see the exception

@@ -1,20 +1,25 @@
 // SnnServer — request-level serving front end over the SNN inference core.
 //
-// The simulators (event_sim.h) and the GEMM path (network.h) are
-// batch-oriented and blocking: callers assemble (N, C, H, W) tensors and
-// wait. A serving workload is the opposite shape — latency-sensitive
-// single-image requests arriving on many threads (T2FSNN-style TTFS
-// inference is per-request). SnnServer bridges the two:
+// The inference engine (snn/engine.h) is batch-oriented and blocking:
+// callers hand a session a batch and wait. A serving workload is the
+// opposite shape — latency-sensitive single-image requests arriving on many
+// threads (T2FSNN-style TTFS inference is per-request). SnnServer bridges
+// the two:
 //
 //   submit() (any thread) -> MicroBatcher (flush on max_batch or max_delay)
-//     -> scheduler thread -> run_event_sim_batch / classify_each on the
-//        ThreadPool, one SimArena per pool chunk, reused across batches
+//     -> scheduler thread -> InferenceSession::run on the injected
+//        InferenceBackend, one SimArena per pool chunk, reused across batches
 //     -> futures resolve with logits, predicted class, SnnRunStats, latency
+//
+// The backend is injected through ServeOptions as a polymorphic
+// snn::InferenceBackend (event simulator by default; snn::make_backend or
+// any custom implementation) — the server itself has exactly one batch
+// path, whatever realization runs underneath.
 //
 // Determinism: per-sample results are bit-identical to running the same
 // backend sequentially on the same inputs, no matter how requests interleave
-// into batches (the batch runners guarantee sample independence; asserted
-// under concurrency in tests/serve_stress_test.cpp).
+// into batches (the session guarantees sample independence; asserted under
+// concurrency in tests/serve_stress_test.cpp).
 //
 // Lifecycle: stop() (or the destructor) closes the queue, *drains* every
 // pending request through normal batches, then joins the scheduler — no
@@ -27,6 +32,7 @@
 #include <chrono>
 #include <cstdint>
 #include <future>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -34,7 +40,7 @@
 #include "serve/batcher.h"
 #include "serve/result.h"
 #include "serve/stats.h"
-#include "snn/event_sim.h"
+#include "snn/engine.h"
 #include "snn/network.h"
 
 namespace ttfs {
@@ -43,18 +49,12 @@ class ThreadPool;
 
 namespace ttfs::serve {
 
-// Which inference engine formed batches run through. Both are deterministic;
-// they differ in float summation order, so logits agree with *their own*
-// sequential path bit for bit, not with each other's.
-enum class Backend {
-  kEventSim,  // spike-order-accurate simulator (run_event_sim_batch)
-  kGemm,      // layer-sequential GEMM path (SnnNetwork::classify_each)
-};
-
 struct ServeOptions {
   std::int64_t max_batch = 8;                 // flush when this many queued
   std::chrono::microseconds max_delay{2000};  // flush when the oldest waited this long
-  Backend backend = Backend::kEventSim;
+  // Inference realization formed batches run through; the event-sim backend
+  // when null. Backends are stateless and may be shared across servers.
+  std::shared_ptr<const snn::InferenceBackend> backend;
   // Compute pool for batch fan-out: global_pool() when null; a 0-thread pool
   // runs batches inline on the scheduler thread (single-threaded serving).
   ThreadPool* pool = nullptr;
@@ -63,9 +63,10 @@ struct ServeOptions {
 class SnnServer {
  public:
   // The network must outlive the server and must not be mutated while it is
-  // running (the pack is built here, before any request can race on it).
-  // `input_shape` is the mandatory (C, H, W) of every request image — fixed
-  // up front so batches are uniform and arenas are pre-reserved once.
+  // running (the session builds the weight pack here, before any request can
+  // race on it). `input_shape` is the mandatory (C, H, W) of every request
+  // image — fixed up front so batches are uniform and the session's arenas
+  // are pre-reserved once.
   SnnServer(const snn::SnnNetwork& net, std::vector<std::int64_t> input_shape,
             ServeOptions opts = {});
   ~SnnServer();  // stop()
@@ -93,20 +94,20 @@ class SnnServer {
   ServerStats stats() const;
   const ServeOptions& options() const { return opts_; }
   const std::vector<std::int64_t>& input_shape() const { return input_shape_; }
+  const snn::InferenceBackend& backend() const { return session_.backend(); }
 
  private:
   void scheduler_loop();
   void run_batch(std::vector<PendingRequest> batch);
 
-  const snn::SnnNetwork& net_;
   const std::vector<std::int64_t> input_shape_;
   const ServeOptions opts_;
-  ThreadPool& pool_;
+  // Scheduler-thread-only: owns the packed-weight binding and per-chunk
+  // arenas, pre-reserved for max_batch fan-out and reused for the server's
+  // whole life.
+  snn::InferenceSession session_;
   MicroBatcher batcher_;
   StatsCollector stats_;
-  // Scheduler-thread-only scratch, pre-reserved for max_batch fan-out and
-  // reused for the server's whole life (event backend).
-  std::vector<snn::SimArena> arenas_;
   std::atomic<std::uint64_t> next_id_{1};
   std::thread scheduler_;
   std::once_flag stopped_;

@@ -1,0 +1,278 @@
+#include "snn/engine.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+#include <variant>
+
+#include "snn/event_sim_reference.h"
+#include "tensor/ops.h"
+#include "util/check.h"
+#include "util/thread_pool.h"
+
+namespace ttfs::snn {
+
+std::string to_string(BackendKind kind) {
+  switch (kind) {
+    case BackendKind::kGemm: return "gemm";
+    case BackendKind::kEventSim: return "event";
+    case BackendKind::kReference: return "reference";
+  }
+  return "unknown";
+}
+
+BackendKind backend_kind_from_string(const std::string& name) {
+  if (name == "gemm") return BackendKind::kGemm;
+  if (name == "event" || name == "event_sim") return BackendKind::kEventSim;
+  if (name == "reference") return BackendKind::kReference;
+  throw std::invalid_argument("unknown backend '" + name + "' (want gemm|event|reference)");
+}
+
+SnnRunStats RunResult::merged_stats() const {
+  SnnRunStats out;
+  for (const SnnRunStats& s : stats) {
+    if (out.spikes_per_layer.empty()) {
+      out.spikes_per_layer.assign(s.spikes_per_layer.size(), 0);
+      out.neurons_per_layer.assign(s.neurons_per_layer.size(), 0);
+    }
+    out.images += s.images;
+    for (std::size_t l = 0; l < s.spikes_per_layer.size(); ++l) {
+      out.spikes_per_layer[l] += s.spikes_per_layer[l];
+      out.neurons_per_layer[l] += s.neurons_per_layer[l];
+    }
+  }
+  return out;
+}
+
+BatchView::BatchView(const Tensor& batch) {
+  TTFS_CHECK_MSG(batch.rank() == 4 || batch.rank() == 2,
+                 "batch must be (N, C, H, W) or (N, features), got " << batch.shape_str());
+  n_ = batch.dim(0);
+  sample_shape_.assign(batch.shape().begin() + 1, batch.shape().end());
+  sample_numel_ = shape_numel(sample_shape_);
+  base_ = batch.data();
+}
+
+BatchView::BatchView(const std::vector<const Tensor*>& samples) : gathered_{samples} {
+  n_ = static_cast<std::int64_t>(samples.size());
+  bool first = true;
+  for (const Tensor* img : samples) {
+    TTFS_CHECK_MSG(img != nullptr && img->rank() == 3, "gathered samples must be (C, H, W)");
+    if (first) {
+      sample_shape_ = img->shape();
+      first = false;
+    } else {
+      TTFS_CHECK_MSG(img->shape() == sample_shape_, "batch mixes sample shapes");
+    }
+  }
+  sample_numel_ = shape_numel(sample_shape_);
+}
+
+const float* BatchView::sample(std::int64_t i) const {
+  TTFS_DCHECK(i >= 0 && i < n_);
+  if (base_ != nullptr) return base_ + i * sample_numel_;
+  return gathered_[static_cast<std::size_t>(i)]->data();
+}
+
+namespace {
+
+// (C, H, W) of a sample for the event-style backends; rank-2 batches map a
+// feature row onto (features, 1, 1), which the simulators treat identically.
+void sample_chw(const BatchView& batch, std::int64_t& c, std::int64_t& h, std::int64_t& w) {
+  const auto& shape = batch.sample_shape();
+  if (shape.size() == 3) {
+    c = shape[0];
+    h = shape[1];
+    w = shape[2];
+  } else {
+    TTFS_CHECK_MSG(shape.size() == 1, "event backends need (C, H, W) or (features) samples");
+    c = shape[0];
+    h = 1;
+    w = 1;
+  }
+}
+
+// Fills the requested slots from a freshly-simulated trace. When the trace
+// itself is kept, its logits stay populated (callers reading
+// traces[i].logits directly, like the hardware model, rely on this) and the
+// logits row is a copy; otherwise the row steals the trace's tensor.
+void deliver_trace(const SnnNetwork& net, EventTrace trace, const SampleSlots& slots) {
+  if (slots.stats != nullptr) *slots.stats = stats_from_trace(net, trace);
+  if (slots.logits != nullptr) {
+    *slots.logits = slots.trace != nullptr ? trace.logits : std::move(trace.logits);
+  }
+  if (slots.trace != nullptr) *slots.trace = std::move(trace);
+}
+
+}  // namespace
+
+SnnRunStats stats_from_trace(const SnnNetwork& net, const EventTrace& trace) {
+  SnnRunStats s;
+  s.images = 1;
+  const std::size_t weighted = net.weighted_layer_count();
+  s.spikes_per_layer.reserve(weighted);
+  s.neurons_per_layer.reserve(weighted);
+  const auto add = [&s](const LayerEventTrace& lt) {
+    s.spikes_per_layer.push_back(static_cast<std::int64_t>(lt.spikes.size()));
+    s.neurons_per_layer.push_back(lt.neuron_count);
+  };
+  add(trace.layers[0]);  // input encoding
+  // trace.layers[ti] corresponds to net.layers()[ti - 1]; the output layer
+  // never fires so the trace runs out exactly at the final weighted layer.
+  std::size_t ti = 1;
+  for (const auto& layer : net.layers()) {
+    if (ti >= trace.layers.size()) break;
+    if (std::holds_alternative<SnnPool>(layer)) {
+      ++ti;
+      continue;
+    }
+    add(trace.layers[ti++]);
+  }
+  return s;
+}
+
+void GemmBackend::run_sample(const SnnNetwork& net, const BatchView& batch, std::int64_t i,
+                             SimArena& arena, const SampleSlots& slots) const {
+  (void)arena;
+  TTFS_CHECK_MSG(slots.trace == nullptr, "gemm backend cannot materialize traces");
+  // (1, ...) wrapper built on the worker: the only copy per sample.
+  std::vector<std::int64_t> shape{1};
+  shape.insert(shape.end(), batch.sample_shape().begin(), batch.sample_shape().end());
+  const float* span = batch.sample(i);
+  Tensor x{std::move(shape), std::vector<float>(span, span + batch.sample_numel())};
+  Tensor row = net.forward(x, slots.stats);
+  if (slots.logits != nullptr) *slots.logits = std::move(row);
+}
+
+void EventSimBackend::run_sample(const SnnNetwork& net, const BatchView& batch, std::int64_t i,
+                                 SimArena& arena, const SampleSlots& slots) const {
+  std::int64_t c, h, w;
+  sample_chw(batch, c, h, w);
+  deliver_trace(net, detail::run_event_sim_span(net, batch.sample(i), c, h, w, arena), slots);
+}
+
+void ReferenceBackend::run_sample(const SnnNetwork& net, const BatchView& batch, std::int64_t i,
+                                  SimArena& arena, const SampleSlots& slots) const {
+  (void)arena;
+  std::int64_t c, h, w;
+  sample_chw(batch, c, h, w);
+  const float* span = batch.sample(i);
+  const Tensor img{{c, h, w}, std::vector<float>(span, span + batch.sample_numel())};
+  deliver_trace(net, reference::run_event_sim(net, img), slots);
+}
+
+std::shared_ptr<const InferenceBackend> make_backend(BackendKind kind) {
+  // One shared instance per kind: backends are stateless const objects.
+  static const auto gemm = std::make_shared<const GemmBackend>();
+  static const auto event = std::make_shared<const EventSimBackend>();
+  static const auto reference = std::make_shared<const ReferenceBackend>();
+  switch (kind) {
+    case BackendKind::kGemm: return gemm;
+    case BackendKind::kEventSim: return event;
+    case BackendKind::kReference: return reference;
+  }
+  TTFS_CHECK_MSG(false, "unknown BackendKind");
+  return nullptr;
+}
+
+InferenceSession::InferenceSession(const SnnNetwork& net,
+                                   std::shared_ptr<const InferenceBackend> backend,
+                                   SessionOptions opts)
+    : net_{&net},
+      backend_{std::move(backend)},
+      pool_{opts.pool != nullptr ? opts.pool : &global_pool()} {
+  TTFS_CHECK_MSG(backend_ != nullptr, "InferenceSession needs a backend");
+  // Build the weight pack (if this backend reads it) while the session is
+  // being constructed — typically a single-threaded moment — so runs fan
+  // workers out over a read-only net.
+  if (backend_->needs_packed_weights()) net_->ensure_packed();
+  if (backend_->uses_arena() && opts.max_batch_hint > 0 && opts.input_shape.size() == 3) {
+    // Sized from the pool's worker count directly, not max_chunks(): that
+    // helper returns 1 when called *from* a pool worker thread, but runs may
+    // later be launched from any non-worker thread, which can use up to
+    // min(max_batch, workers) chunks.
+    const std::int64_t workers = std::max<std::int64_t>(1, pool_->size());
+    arenas_.resize(
+        static_cast<std::size_t>(std::min<std::int64_t>(opts.max_batch_hint, workers)));
+    for (SimArena& arena : arenas_) {
+      arena.reserve_for(*net_, opts.input_shape[0], opts.input_shape[1], opts.input_shape[2]);
+    }
+  }
+}
+
+RunResult InferenceSession::run(const BatchView& batch, const RunOptions& opts) {
+  if (opts.traces && !backend_->supports_traces()) {
+    throw std::invalid_argument("backend '" + backend_->name() +
+                                "' cannot materialize traces (RunOptions::traces)");
+  }
+  // Rebuilds the pack if the caller mutated layers between runs.
+  if (backend_->needs_packed_weights()) net_->ensure_packed();
+  const std::int64_t n = batch.size();
+
+  RunResult out;
+  const bool want_rows = opts.logits || opts.logit_rows || opts.predictions;
+  std::vector<Tensor> rows;
+  if (want_rows) rows.resize(static_cast<std::size_t>(n));
+  if (opts.stats) out.stats.assign(static_cast<std::size_t>(n), SnnRunStats{});
+  if (opts.traces) out.traces.resize(static_cast<std::size_t>(n));
+
+  // One arena per pool chunk, grown on demand and reused run after run, so
+  // every worker keeps its own scratch across its whole sample range with no
+  // steady-state allocation.
+  const std::size_t chunks = std::max<std::size_t>(1, pool_->max_chunks(0, n));
+  if (backend_->uses_arena()) {
+    while (arenas_.size() < chunks) {
+      arenas_.emplace_back();
+      if (batch.sample_shape().size() == 3) {
+        arenas_.back().reserve_for(*net_, batch.sample_shape()[0], batch.sample_shape()[1],
+                                   batch.sample_shape()[2]);
+      }
+    }
+  } else if (arenas_.size() < chunks) {
+    arenas_.resize(chunks);  // placeholder scratch for arena-free backends
+  }
+
+  pool_->parallel_for_indexed(0, n, [&](std::size_t chunk, std::int64_t lo, std::int64_t hi) {
+    SimArena& arena = arenas_[chunk];
+    for (std::int64_t i = lo; i < hi; ++i) {
+      const std::size_t idx = static_cast<std::size_t>(i);
+      SampleSlots slots;
+      slots.logits = want_rows ? &rows[idx] : nullptr;
+      slots.stats = opts.stats ? &out.stats[idx] : nullptr;
+      slots.trace = opts.traces ? &out.traces[idx] : nullptr;
+      backend_->run_sample(*net_, batch, i, arena, slots);
+    }
+  });
+
+  if (opts.predictions) {
+    out.predicted.resize(static_cast<std::size_t>(n));
+    for (std::int64_t i = 0; i < n; ++i) {
+      const Tensor& row = rows[static_cast<std::size_t>(i)];
+      out.predicted[static_cast<std::size_t>(i)] = row.numel() == 0 ? -1 : argmax_row(row, 0);
+    }
+  }
+  if (opts.logits) {
+    // Merge rows in sample order: row i is sample i's logits verbatim.
+    const std::int64_t classes = n == 0 ? 0 : rows[0].numel();
+    out.logits = Tensor{{n, classes}};
+    for (std::int64_t i = 0; i < n; ++i) {
+      const Tensor& row = rows[static_cast<std::size_t>(i)];
+      TTFS_CHECK(row.numel() == classes);
+      std::copy(row.data(), row.data() + classes, out.logits.data() + i * classes);
+    }
+  }
+  // Last: the rows themselves are handed over (no copy) when requested.
+  if (opts.logit_rows) out.logit_rows = std::move(rows);
+  return out;
+}
+
+InferenceSession Engine::session(BackendKind kind, SessionOptions opts) const {
+  return InferenceSession{*net_, make_backend(kind), std::move(opts)};
+}
+
+InferenceSession Engine::session(std::shared_ptr<const InferenceBackend> backend,
+                                 SessionOptions opts) const {
+  return InferenceSession{*net_, std::move(backend), std::move(opts)};
+}
+
+}  // namespace ttfs::snn

@@ -1,8 +1,8 @@
 #include "snn/event_sim.h"
 
 #include <algorithm>
-#include <functional>
 
+#include "snn/engine.h"
 #include "util/check.h"
 #include "util/thread_pool.h"
 
@@ -295,6 +295,15 @@ EventTrace run_event_sim_view(const SnnNetwork& net, const float* image, Shape3 
 
 }  // namespace
 
+namespace detail {
+
+EventTrace run_event_sim_span(const SnnNetwork& net, const float* image, std::int64_t c,
+                              std::int64_t h, std::int64_t w, SimArena& arena) {
+  return run_event_sim_view(net, image, {c, h, w}, arena);
+}
+
+}  // namespace detail
+
 LayerEventTrace fire_phase(const Base2Kernel& kernel, const std::vector<double>& vmem) {
   const ThresholdLut lut{kernel};
   SimArena arena;
@@ -305,8 +314,8 @@ LayerEventTrace fire_phase(const Base2Kernel& kernel, const std::vector<double>&
 
 EventTrace run_event_sim(const SnnNetwork& net, const Tensor& image, SimArena& arena) {
   TTFS_CHECK(image.rank() == 3);
-  return run_event_sim_view(net, image.data(), {image.dim(0), image.dim(1), image.dim(2)},
-                            arena);
+  return detail::run_event_sim_span(net, image.data(), image.dim(0), image.dim(1), image.dim(2),
+                                    arena);
 }
 
 EventTrace run_event_sim(const SnnNetwork& net, const Tensor& image) {
@@ -355,87 +364,23 @@ void SimArena::reserve_for(const SnnNetwork& net, std::int64_t c, std::int64_t h
   (void)counts(net.kernel().window());
 }
 
-namespace {
-
-// Shared core of the batch overloads: runs samples 0..n-1 (resolved to raw
-// (C, H, W) spans by `sample_at`) across the pool with one arena per chunk.
-// `arenas` points at caller-owned scratch, or null to keep per-call arenas.
-BatchEventResult run_batch_core(const SnnNetwork& net, std::int64_t n, Shape3 sample,
-                                const std::function<const float*(std::int64_t)>& sample_at,
-                                std::vector<SimArena>* arenas, ThreadPool* pool,
-                                bool merge_logits) {
-  net.ensure_packed();  // workers only ever read the pack after this
-  BatchEventResult out;
-  out.traces.resize(static_cast<std::size_t>(n));
-  ThreadPool& workers = pool != nullptr ? *pool : global_pool();
-
-  // One pre-reserved arena per pool chunk: every worker reuses its own
-  // scratch across its whole sample range, so the per-sample loop performs no
-  // steady-state allocation (the returned traces are the only allocations).
-  const std::size_t chunks = workers.max_chunks(0, n);
-  std::vector<SimArena> local;
-  if (arenas == nullptr) {
-    local.resize(chunks);
-    for (auto& arena : local) arena.reserve_for(net, sample.c, sample.h, sample.w);
-    arenas = &local;
-  } else {
-    TTFS_CHECK_MSG(arenas->size() >= chunks,
-                   "need " << chunks << " arenas, got " << arenas->size());
-  }
-  workers.parallel_for_indexed(0, n, [&](std::size_t chunk, std::int64_t lo, std::int64_t hi) {
-    SimArena& arena = (*arenas)[chunk];
-    for (std::int64_t i = lo; i < hi; ++i) {
-      out.traces[static_cast<std::size_t>(i)] =
-          run_event_sim_view(net, sample_at(i), sample, arena);
-    }
-  });
-
-  if (merge_logits) {
-    const std::int64_t classes = n == 0 ? 0 : out.traces[0].logits.numel();
-    out.logits = Tensor{{n, classes}};
-    for (std::int64_t i = 0; i < n; ++i) {
-      const Tensor& row = out.traces[static_cast<std::size_t>(i)].logits;
-      TTFS_CHECK(row.numel() == classes);
-      std::copy(row.data(), row.data() + classes, out.logits.data() + i * classes);
-    }
-  }
-  return out;
-}
-
-}  // namespace
-
 BatchEventResult run_event_sim_batch(const SnnNetwork& net, const Tensor& nchw,
                                      ThreadPool* pool) {
   TTFS_CHECK(nchw.rank() == 4);
-  const Shape3 sample{nchw.dim(1), nchw.dim(2), nchw.dim(3)};
-  const float* data = nchw.data();
-  return run_batch_core(
-      net, nchw.dim(0), sample,
-      [data, &sample](std::int64_t i) { return data + i * sample.numel(); }, nullptr, pool,
-      /*merge_logits=*/true);
-}
-
-BatchEventResult run_event_sim_batch(const SnnNetwork& net,
-                                     const std::vector<const Tensor*>& images,
-                                     std::vector<SimArena>* arenas, ThreadPool* pool,
-                                     bool merge_logits) {
-  const std::int64_t n = static_cast<std::int64_t>(images.size());
-  Shape3 sample;
-  bool first = true;
-  for (const Tensor* img : images) {
-    TTFS_CHECK(img != nullptr && img->rank() == 3);
-    const Shape3 s{img->dim(0), img->dim(1), img->dim(2)};
-    if (first) {
-      sample = s;
-      first = false;
-    } else {
-      TTFS_CHECK_MSG(s.c == sample.c && s.h == sample.h && s.w == sample.w,
-                     "batch mixes sample shapes");
-    }
-  }
-  return run_batch_core(
-      net, n, sample, [&images](std::int64_t i) { return images[static_cast<std::size_t>(i)]->data(); },
-      arenas, pool, merge_logits);
+  // One-shot session on the shared event-sim backend: per-chunk arenas,
+  // sample-order trace and logits merges — bit-identical to the sequential
+  // run_event_sim loop (and to the pre-engine batch runner).
+  SessionOptions sopts;
+  sopts.pool = pool;
+  InferenceSession session{net, make_backend(BackendKind::kEventSim), std::move(sopts)};
+  RunOptions opts;
+  opts.logits = true;
+  opts.traces = true;
+  RunResult run = session.run(BatchView{nchw}, opts);
+  BatchEventResult out;
+  out.traces = std::move(run.traces);
+  out.logits = std::move(run.logits);
+  return out;
 }
 
 }  // namespace ttfs::snn

@@ -95,6 +95,16 @@ class SimArena {
 EventTrace run_event_sim(const SnnNetwork& net, const Tensor& image, SimArena& arena);
 EventTrace run_event_sim(const SnnNetwork& net, const Tensor& image);
 
+namespace detail {
+// Core single-sample simulation over a raw (C, H, W) span — the primitive
+// everything batched is built on. All scratch comes from `arena`; only the
+// returned trace allocates. snn::EventSimBackend (engine.h) fans this out
+// across a session's per-chunk arenas; run_event_sim wraps it for Tensor
+// callers.
+EventTrace run_event_sim_span(const SnnNetwork& net, const float* image, std::int64_t c,
+                              std::int64_t h, std::int64_t w, SimArena& arena);
+}  // namespace detail
+
 // Result of a batched event simulation. Traces are indexed by sample in input
 // order and the aggregate counters sum them in that same order, so the whole
 // struct is bit-identical to running `run_event_sim` in a sequential loop —
@@ -107,29 +117,14 @@ struct BatchEventResult {
   std::int64_t total_integration_ops() const;
 };
 
-// Runs a batch (N, C, H, W) through `net`, fanning samples out across `pool`
-// (global_pool() when null; a 0-thread pool runs inline). Each pool chunk
-// owns one pre-reserved SimArena, so workers share nothing but the read-only
-// network and allocate nothing per sample.
+// Legacy convenience wrapper: runs a batch (N, C, H, W) through a one-shot
+// engine session on the event-sim backend (see engine.h), fanning samples
+// out across `pool` (global_pool() when null; a 0-thread pool runs inline)
+// with one arena per pool chunk. New code — and any caller that wants arena
+// reuse across batches, per-sample stats, or backend choice — should hold an
+// snn::InferenceSession instead; the serving layer does.
 BatchEventResult run_event_sim_batch(const SnnNetwork& net, const Tensor& nchw,
                                      ThreadPool* pool = nullptr);
-
-// Gathered-batch entry point for callers holding independently-owned samples
-// (the serving layer's natural shape): images[i] is a (C, H, W) tensor and
-// all must share one shape — no (N, C, H, W) assembly copy. `arenas` is
-// optional caller-owned scratch: at least min(N, pool worker count, but >= 1)
-// SimArenas that are reused call after call, so a long-lived caller
-// (SnnServer) does zero per-batch scratch allocation; pass nullptr for
-// per-call arenas like the NCHW overload. (Don't size them with max_chunks()
-// from inside a pool task — it reports 1 there; batches launched from a
-// non-worker thread still fan out.) With merge_logits false the (N, classes)
-// result.logits merge is skipped (left empty) for callers that read
-// traces[i].logits directly. Bit-identical to running run_event_sim on each
-// image in input order.
-BatchEventResult run_event_sim_batch(const SnnNetwork& net,
-                                     const std::vector<const Tensor*>& images,
-                                     std::vector<SimArena>* arenas = nullptr,
-                                     ThreadPool* pool = nullptr, bool merge_logits = true);
 
 // The fire-phase / spike-encoder primitive (Sec. 4): encodes a vector of
 // membrane voltages into priority-ordered spikes and counts encoder cycles

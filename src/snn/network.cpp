@@ -1,8 +1,10 @@
 #include "snn/network.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "nn/functional.h"
+#include "snn/engine.h"
 #include "util/check.h"
 #include "util/thread_pool.h"
 
@@ -205,60 +207,36 @@ Tensor SnnNetwork::forward(const Tensor& images, SnnRunStats* stats) const {
   return {};
 }
 
-Tensor SnnNetwork::classify_rows(std::int64_t n,
-                                 const std::function<Tensor(std::int64_t)>& sample_at,
-                                 std::vector<SnnRunStats>* per_sample, ThreadPool* pool) const {
-  std::vector<Tensor> rows(static_cast<std::size_t>(n));
-  if (per_sample != nullptr) per_sample->assign(static_cast<std::size_t>(n), SnnRunStats{});
-  ThreadPool& workers = pool != nullptr ? *pool : global_pool();
-  workers.parallel_for(0, n, [&](std::int64_t lo, std::int64_t hi) {
-    for (std::int64_t i = lo; i < hi; ++i) {
-      // Worker-local slice: the GEMM/membrane buffers live inside forward().
-      const std::size_t idx = static_cast<std::size_t>(i);
-      rows[idx] = forward(sample_at(i), per_sample != nullptr ? &(*per_sample)[idx] : nullptr);
-    }
-  });
+namespace {
 
-  // Merge rows in sample order: row i is sample i's logits verbatim.
-  const std::int64_t classes = n == 0 ? 0 : rows[0].numel();
-  Tensor logits{{n, classes}};
-  for (std::int64_t i = 0; i < n; ++i) {
-    const Tensor& row = rows[static_cast<std::size_t>(i)];
-    TTFS_CHECK(row.numel() == classes);
-    std::copy(row.data(), row.data() + classes, logits.data() + i * classes);
-  }
-  return logits;
+// Shared core of the classify_each overloads: a one-shot session on the
+// shared GEMM backend. Bit-identical to the pre-engine per-sample
+// forward() fan-out (the backend runs forward on a (1, ...) wrapper of each
+// sample and the session merges rows in sample order).
+Tensor classify_via_session(const SnnNetwork& net, const BatchView& batch,
+                            std::vector<SnnRunStats>* per_sample, ThreadPool* pool) {
+  SessionOptions sopts;
+  sopts.pool = pool;
+  InferenceSession session{net, make_backend(BackendKind::kGemm), std::move(sopts)};
+  RunOptions opts;
+  opts.logits = true;
+  opts.stats = per_sample != nullptr;
+  RunResult run = session.run(batch, opts);
+  if (per_sample != nullptr) *per_sample = std::move(run.stats);
+  return std::move(run.logits);
 }
+
+}  // namespace
 
 Tensor SnnNetwork::classify_each(const Tensor& images, std::vector<SnnRunStats>* per_sample,
                                  ThreadPool* pool) const {
   TTFS_CHECK(images.rank() == 4 || images.rank() == 2);
-  return classify_rows(
-      images.dim(0), [&images](std::int64_t i) { return images.slice0(i, 1); }, per_sample,
-      pool);
+  return classify_via_session(*this, BatchView{images}, per_sample, pool);
 }
 
 Tensor SnnNetwork::classify_each(const std::vector<const Tensor*>& images,
                                  std::vector<SnnRunStats>* per_sample, ThreadPool* pool) const {
-  bool first = true;
-  std::vector<std::int64_t> shape;
-  for (const Tensor* img : images) {
-    TTFS_CHECK(img != nullptr && img->rank() == 3);
-    if (first) {
-      shape = img->shape();
-      first = false;
-    } else {
-      TTFS_CHECK_MSG(img->shape() == shape, "batch mixes sample shapes");
-    }
-  }
-  return classify_rows(
-      static_cast<std::int64_t>(images.size()),
-      [&images](std::int64_t i) {
-        const Tensor& img = *images[static_cast<std::size_t>(i)];
-        // (1, C, H, W) wrapper built on the worker: the only copy per sample.
-        return Tensor{{1, img.dim(0), img.dim(1), img.dim(2)}, std::vector<float>(img.vec())};
-      },
-      per_sample, pool);
+  return classify_via_session(*this, BatchView{images}, per_sample, pool);
 }
 
 Tensor SnnNetwork::classify(const Tensor& images, SnnRunStats* stats, ThreadPool* pool) const {

@@ -14,11 +14,13 @@
 //    GEMM kernels as the ANN. Bit-identical to the event path by construction.
 //  * event_sim.h — a timestep- and spike-order-accurate simulator used to
 //    validate this path and to drive the hardware model.
+// Both (plus the frozen reference simulator) are reachable uniformly through
+// snn::Engine / InferenceSession (engine.h); the batched entry points below
+// are thin wrappers over a one-shot session.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
-#include <functional>
 #include <mutex>
 #include <variant>
 #include <vector>
@@ -133,26 +135,25 @@ class SnnNetwork {
   // no activation on the output layer). Pass `stats` to collect spike counts.
   Tensor forward(const Tensor& images, SnnRunStats* stats = nullptr) const;
 
-  // Batched classification: same contract as forward(), but samples fan out
-  // across `pool` (global_pool() when null) and each worker runs the
-  // single-sample forward on its own buffers. Logits rows and stats are
-  // merged in sample order, so the result is bit-identical to calling
-  // forward() on each (1, ...) slice in a sequential loop.
+  // Batched classification: legacy convenience wrapper over a one-shot
+  // engine session on the GEMM backend (see engine.h — new code should hold
+  // an snn::InferenceSession). Samples fan out across `pool` (global_pool()
+  // when null) and logits rows and stats merge in sample order, so the
+  // result is bit-identical to calling forward() on each (1, ...) slice in a
+  // sequential loop.
   Tensor classify(const Tensor& images, SnnRunStats* stats = nullptr,
                   ThreadPool* pool = nullptr) const;
 
   // Per-sample variant of classify(): identical fan-out and bit-identical
   // logits, but when `per_sample` is non-null it is resized to N and entry i
-  // receives sample i's own SnnRunStats (images == 1). The serving layer uses
-  // this to complete each request with its own activity counters; classify()
-  // is a sample-order merge of the same rows/stats.
+  // receives sample i's own SnnRunStats (images == 1); classify() is a
+  // sample-order merge of the same rows/stats.
   Tensor classify_each(const Tensor& images, std::vector<SnnRunStats>* per_sample,
                        ThreadPool* pool = nullptr) const;
 
   // Gathered form for callers holding independently-owned (C, H, W) samples
-  // of one shape (mirrors the gathered run_event_sim_batch): each worker
-  // wraps its own sample as a (1, C, H, W) batch, so there is no caller-side
-  // (N, C, H, W) assembly copy.
+  // of one shape: each worker wraps its own sample as a (1, C, H, W) batch,
+  // so there is no caller-side (N, C, H, W) assembly copy.
   Tensor classify_each(const std::vector<const Tensor*>& images,
                        std::vector<SnnRunStats>* per_sample, ThreadPool* pool = nullptr) const;
 
@@ -203,12 +204,6 @@ class SnnNetwork {
   Tensor decode(const SpikeMap& map) const;
 
  private:
-  // Shared core of the classify_each overloads: fans samples 0..n-1 (each
-  // materialized as a (1, ...) batch by `sample_at`, called on the worker)
-  // across the pool and merges logits rows in sample order.
-  Tensor classify_rows(std::int64_t n, const std::function<Tensor(std::int64_t)>& sample_at,
-                       std::vector<SnnRunStats>* per_sample, ThreadPool* pool) const;
-
   Base2Kernel kernel_;
   ThresholdLut lut_;
   std::vector<SnnLayer> layers_;

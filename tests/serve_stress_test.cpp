@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "serve/server.h"
+#include "snn/engine.h"
 #include "snn/event_sim.h"
 #include "snn/network.h"
 #include "util/rng.h"
@@ -60,7 +61,7 @@ void expect_rows_equal(const Tensor& got, const float* want, std::int64_t classe
 // N threads hammer submit() while the scheduler forms whatever batch mix the
 // interleaving produces; each future's logits must equal the sequential
 // golden of its own input bit for bit.
-void stress_backend(Backend backend) {
+void stress_backend(snn::BackendKind backend) {
   Rng rng{101};
   const snn::SnnNetwork net = make_net(rng);
   const auto images = make_images(rng, kTotal);
@@ -72,7 +73,7 @@ void stress_backend(Backend backend) {
   Tensor goldens{{kTotal, 10}};
   for (std::int64_t i = 0; i < kTotal; ++i) {
     Tensor row;
-    if (backend == Backend::kGemm) {
+    if (backend == snn::BackendKind::kGemm) {
       row = net.classify(images[static_cast<std::size_t>(i)].reshaped({1, 3, 8, 8}), nullptr,
                          &inline_pool);
     } else {
@@ -86,7 +87,7 @@ void stress_backend(Backend backend) {
   ServeOptions opts;
   opts.max_batch = 8;
   opts.max_delay = std::chrono::microseconds{300};
-  opts.backend = backend;
+  opts.backend = snn::make_backend(backend);
   opts.pool = &compute_pool;
   SnnServer server{net, {3, 8, 8}, opts};
 
@@ -118,11 +119,11 @@ void stress_backend(Backend backend) {
 }
 
 TEST(ServeStress, EventSimBitIdenticalToSequentialGolden) {
-  stress_backend(Backend::kEventSim);
+  stress_backend(snn::BackendKind::kEventSim);
 }
 
 TEST(ServeStress, GemmBitIdenticalToSequentialClassifyGolden) {
-  stress_backend(Backend::kGemm);
+  stress_backend(snn::BackendKind::kGemm);
 }
 
 // Cancellations race batch formation from every submitter thread; whatever

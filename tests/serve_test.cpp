@@ -6,12 +6,16 @@
 // serve_stress_test.cpp.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <chrono>
 #include <future>
+#include <memory>
+#include <string>
 #include <vector>
 
 #include "serve/batcher.h"
 #include "serve/server.h"
+#include "snn/engine.h"
 #include "snn/event_sim.h"
 #include "snn/network.h"
 #include "util/rng.h"
@@ -154,7 +158,7 @@ TEST(MicroBatcher, CloseDrainsInSizeCappedBatchesThenEmpty) {
 
 // Serves sequential round trips on the given backend and checks every result
 // against that backend's sequential golden.
-void serve_and_match(Backend backend, ThreadPool* pool) {
+void serve_and_match(snn::BackendKind backend, ThreadPool* pool) {
   Rng rng{7};
   const snn::SnnNetwork net = make_net(rng);
   const auto images = make_images(rng, 6);
@@ -162,7 +166,7 @@ void serve_and_match(Backend backend, ThreadPool* pool) {
   ServeOptions opts;
   opts.max_batch = 4;
   opts.max_delay = microseconds{500};
-  opts.backend = backend;
+  opts.backend = snn::make_backend(backend);
   opts.pool = pool;
   SnnServer server{net, {3, 8, 8}, opts};
 
@@ -171,7 +175,7 @@ void serve_and_match(Backend backend, ThreadPool* pool) {
     ServeResult r = sub.result.get();
     ASSERT_EQ(r.status, RequestStatus::kOk) << "request " << i;
     Tensor golden;
-    if (backend == Backend::kEventSim) {
+    if (backend == snn::BackendKind::kEventSim) {
       golden = snn::run_event_sim(net, images[i]).logits;
     } else {
       golden = net.forward(images[i].reshaped({1, 3, 8, 8}));
@@ -192,14 +196,65 @@ void serve_and_match(Backend backend, ThreadPool* pool) {
   EXPECT_EQ(stats.queue_depth, 0U);
 }
 
-TEST(SnnServer, ServesEventSimBackend) { serve_and_match(Backend::kEventSim, nullptr); }
+TEST(SnnServer, ServesEventSimBackend) {
+  serve_and_match(snn::BackendKind::kEventSim, nullptr);
+}
 
-TEST(SnnServer, ServesGemmBackend) { serve_and_match(Backend::kGemm, nullptr); }
+TEST(SnnServer, ServesGemmBackend) { serve_and_match(snn::BackendKind::kGemm, nullptr); }
 
 TEST(SnnServer, ZeroThreadPoolRunsInline) {
   ThreadPool inline_pool{0};
-  serve_and_match(Backend::kEventSim, &inline_pool);
-  serve_and_match(Backend::kGemm, &inline_pool);
+  serve_and_match(snn::BackendKind::kEventSim, &inline_pool);
+  serve_and_match(snn::BackendKind::kGemm, &inline_pool);
+}
+
+// A caller-defined backend: decorates the stock event simulator with a
+// per-sample call counter. Proves ServeOptions::backend is genuine
+// polymorphic injection — the server runs whatever realization it is handed,
+// with results identical to the wrapped backend's own.
+class CountingBackend final : public snn::InferenceBackend {
+ public:
+  std::string name() const override { return "counting"; }
+  bool supports_traces() const override { return inner_->supports_traces(); }
+  bool uses_arena() const override { return inner_->uses_arena(); }
+  bool needs_packed_weights() const override { return inner_->needs_packed_weights(); }
+  void run_sample(const snn::SnnNetwork& net, const snn::BatchView& batch, std::int64_t i,
+                  snn::SimArena& arena, const snn::SampleSlots& slots) const override {
+    samples_run_.fetch_add(1, std::memory_order_relaxed);
+    inner_->run_sample(net, batch, i, arena, slots);
+  }
+  std::int64_t samples_run() const { return samples_run_.load(std::memory_order_relaxed); }
+
+ private:
+  std::shared_ptr<const snn::InferenceBackend> inner_ =
+      snn::make_backend(snn::BackendKind::kEventSim);
+  mutable std::atomic<std::int64_t> samples_run_{0};
+};
+
+TEST(SnnServer, InjectedCustomBackendServesRequests) {
+  Rng rng{37};
+  const snn::SnnNetwork net = make_net(rng);
+  const auto images = make_images(rng, 5);
+
+  auto counting = std::make_shared<const CountingBackend>();
+  ServeOptions opts;
+  opts.max_batch = 2;
+  opts.max_delay = microseconds{500};
+  opts.backend = counting;
+  SnnServer server{net, {3, 8, 8}, opts};
+  EXPECT_EQ(server.backend().name(), "counting");
+
+  for (std::size_t i = 0; i < images.size(); ++i) {
+    auto sub = server.submit(images[i]);
+    ServeResult r = sub.result.get();
+    ASSERT_EQ(r.status, RequestStatus::kOk) << "request " << i;
+    // The decorator delegates to the event simulator, so logits must equal
+    // its sequential golden bit for bit.
+    expect_rows_equal(r.logits, snn::run_event_sim(net, images[i]).logits,
+                      "request " + std::to_string(i));
+  }
+  server.stop();
+  EXPECT_EQ(counting->samples_run(), static_cast<std::int64_t>(images.size()));
 }
 
 TEST(SnnServer, FifoCompletionWithinBatch) {
