@@ -1,26 +1,35 @@
 // Serving throughput/latency under offered load: closed-loop clients against
-// SnnServer at a sweep of (max_batch, concurrent clients) configurations on
-// the VGG-style event-sim workload.
+// SnnServer at a sweep of (replicas, max_batch, concurrent clients)
+// configurations on the VGG-style event-sim workload.
 //
 //   ./build/bench/bench_serving_latency [--requests N] [--reps R]
-//                                       [--backend event|gemm|reference] [--json]
+//                                       [--backend event|gemm|reference]
+//                                       [--replicas 1,2,4] [--queue-cap 0]
+//                                       [--admission block|reject|shed] [--json]
 //
 // Each cell runs `clients` threads, every thread submitting its share of
 // `requests` back to back (submit, wait on the future, repeat), and reports
-// requests/sec plus the server's own p50/p95 latency and mean formed batch
-// size. The speedup column compares against max_batch=1 at the same client
-// count — max_batch=1 serves every request as its own batch (no fan-out
-// across the compute pool), so at batch-forming load (clients > 1) the
-// dynamic batcher's win is the pool-parallel speedup, approaching
-// min(cores, max_batch) on an idle multi-core host. On a single core the
-// ratio stays ~1x: batching amortizes scheduling, it cannot mint compute.
+// completed requests/sec plus enqueue->complete latency p50/p95 recorded *at
+// future resolution* on the client side — each ServeResult carries the
+// latency the server stamped when the request's promise resolved, and the
+// bench feeds it into its own LatencyHistogram the moment .get() returns, so
+// the reported quantiles measure exactly what a caller experiences (the
+// bench exits nonzero if that histogram ever ends a cell empty). The speedup
+// column compares against max_batch=1 at the same client count, replica
+// count and admission configuration.
 //
-// The server runs the injected --backend realization (event simulator by
-// default); CI's perf-smoke job runs one pass per backend so every
-// BENCH_serving_latency_<backend>.json record carries a "backend" field.
+// --replicas/--queue-cap/--admission take comma-separated sweeps; every
+// BENCH_serving_latency_<backend>.json row carries the full configuration
+// ("backend", "replicas", "queue_cap", "admission" fields), so perf
+// trajectories stay keyed per configuration commit over commit. Refused
+// requests (possible under reject/shed with a small --queue-cap) are
+// reported in the "refused" column and excluded from the latency histogram.
 // TTFS_THREADS caps the compute pool as everywhere else.
 #include <chrono>
+#include <cstdlib>
 #include <iostream>
+#include <mutex>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -30,6 +39,7 @@
 #include "snn/engine.h"
 #include "snn/network.h"
 #include "util/cli.h"
+#include "util/latency_histogram.h"
 #include "util/rng.h"
 #include "util/thread_pool.h"
 
@@ -58,34 +68,83 @@ snn::SnnNetwork make_net(Rng& rng) {
   return net;
 }
 
+std::vector<std::int64_t> parse_int_list(const std::string& csv) {
+  std::vector<std::int64_t> out;
+  std::stringstream ss{csv};
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (!item.empty()) out.push_back(std::strtoll(item.c_str(), nullptr, 10));
+  }
+  return out;
+}
+
+std::vector<std::string> parse_string_list(const std::string& csv) {
+  std::vector<std::string> out;
+  std::stringstream ss{csv};
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (!item.empty()) out.push_back(item);
+  }
+  return out;
+}
+
+struct CellConfig {
+  std::int64_t replicas = 1;
+  std::size_t queue_cap = 0;
+  serve::AdmissionPolicy admission = serve::AdmissionPolicy::kBlock;
+  std::int64_t max_batch = 1;
+  std::int64_t clients = 1;
+};
+
 struct CellResult {
-  double rate = 0.0;  // requests/sec, best rep
+  double rate = 0.0;      // completed requests/sec, best rep
+  double p50_ms = 0.0;    // enqueue -> complete, recorded at future resolution
+  double p95_ms = 0.0;
+  std::uint64_t refused = 0;  // rejected + shed at the best rep
   serve::ServerStats stats;
 };
 
 // One sweep cell: `clients` closed-loop threads push `requests` total through
-// a fresh server; best-of-`reps` wall-clock rate.
+// a fresh server; best-of-`reps` wall-clock rate. Every resolved future's
+// latency is recorded into the bench's own histogram right where .get()
+// returns — the quantiles below are measured at future resolution, not from
+// the submitting thread's wall clock.
 CellResult run_cell(const snn::SnnNetwork& net, const std::vector<Tensor>& images,
                     std::shared_ptr<const snn::InferenceBackend> backend,
-                    std::int64_t max_batch, std::int64_t clients, int reps) {
+                    const CellConfig& cfg, int reps) {
   CellResult out;
   const std::int64_t requests = static_cast<std::int64_t>(images.size());
   for (int rep = 0; rep < reps; ++rep) {
     serve::ServeOptions opts;
-    opts.max_batch = max_batch;
+    opts.max_batch = cfg.max_batch;
     opts.max_delay = std::chrono::microseconds{500};
+    opts.replicas = cfg.replicas;
+    opts.queue_capacity = cfg.queue_cap;
+    opts.admission = cfg.admission;
     opts.backend = backend;
     serve::SnnServer server{net, {3, 16, 16}, opts};
 
+    LatencyHistogram resolved;  // enqueue -> complete, fed at .get() return
+    std::mutex resolved_mu;
+    std::uint64_t completed = 0;
+    std::uint64_t refused = 0;
+
     const auto start = std::chrono::steady_clock::now();
     std::vector<std::thread> threads;
-    threads.reserve(static_cast<std::size_t>(clients));
-    for (std::int64_t c = 0; c < clients; ++c) {
+    threads.reserve(static_cast<std::size_t>(cfg.clients));
+    for (std::int64_t c = 0; c < cfg.clients; ++c) {
       threads.emplace_back([&, c] {
         // Client c owns requests c, c+clients, c+2*clients, ...
-        for (std::int64_t i = c; i < requests; i += clients) {
+        for (std::int64_t i = c; i < requests; i += cfg.clients) {
           auto sub = server.submit(images[static_cast<std::size_t>(i)]);
-          (void)sub.result.get();
+          const serve::ServeResult r = sub.result.get();
+          const std::lock_guard<std::mutex> lock{resolved_mu};
+          if (r.status == serve::RequestStatus::kOk) {
+            resolved.record(r.latency_seconds);
+            ++completed;
+          } else {
+            ++refused;  // reject/shed under a bounded queue
+          }
         }
       });
     }
@@ -93,9 +152,20 @@ CellResult run_cell(const snn::SnnNetwork& net, const std::vector<Tensor>& image
     const double secs =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
     server.stop();
-    const double rate = static_cast<double>(requests) / secs;
+
+    if (resolved.count() == 0) {
+      std::cerr << "FATAL: latency histogram empty for cell replicas=" << cfg.replicas
+                << " max_batch=" << cfg.max_batch << " clients=" << cfg.clients
+                << " queue_cap=" << cfg.queue_cap << " admission="
+                << serve::to_string(cfg.admission) << " — no request completed\n";
+      std::exit(1);
+    }
+    const double rate = static_cast<double>(completed) / secs;
     if (rate > out.rate) {
       out.rate = rate;
+      out.p50_ms = resolved.quantile(0.50) * 1e3;
+      out.p95_ms = resolved.quantile(0.95) * 1e3;
+      out.refused = refused;
       out.stats = server.stats();
     }
   }
@@ -111,6 +181,14 @@ int main(int argc, char** argv) {
   const int reps = args.get_int("reps", 2);
   const std::vector<std::int64_t> batch_sweep{1, 4, 16};
   const std::vector<std::int64_t> client_sweep{1, 4, 16};
+  const std::vector<std::int64_t> replica_sweep =
+      parse_int_list(args.get_string("replicas", "1,2,4"));
+  const std::vector<std::int64_t> cap_sweep =
+      parse_int_list(args.get_string("queue-cap", "0"));
+  std::vector<serve::AdmissionPolicy> admission_sweep;
+  for (const std::string& name : parse_string_list(args.get_string("admission", "block"))) {
+    admission_sweep.push_back(serve::admission_policy_from_string(name));
+  }
 
   const snn::BackendKind kind = bench::backend_kind(snn::BackendKind::kEventSim);
   const std::string backend_name = snn::to_string(kind);
@@ -129,23 +207,38 @@ int main(int argc, char** argv) {
             << " worker(s), best of " << reps << " reps\n\n";
 
   Table table{"serving_latency_" + backend_name};
-  table.set_header({"backend", "max_batch", "clients", "reqs/s", "mean batch", "p50 ms",
-                    "p95 ms", "speedup vs max_batch=1"});
+  table.set_header({"backend", "replicas", "queue_cap", "admission", "max_batch", "clients",
+                    "reqs/s", "mean batch", "p50 ms", "p95 ms", "refused",
+                    "speedup vs max_batch=1"});
 
   double batched_speedup_at_load = 0.0;
-  for (const std::int64_t clients : client_sweep) {
-    double base_rate = 0.0;
-    for (const std::int64_t max_batch : batch_sweep) {
-      const CellResult cell = run_cell(net, images, backend, max_batch, clients, reps);
-      if (max_batch == 1) base_rate = cell.rate;
-      const double speedup = base_rate > 0.0 ? cell.rate / base_rate : 0.0;
-      if (clients == client_sweep.back()) {
-        batched_speedup_at_load = std::max(batched_speedup_at_load, speedup);
+  for (const serve::AdmissionPolicy admission : admission_sweep) {
+    for (const std::int64_t cap : cap_sweep) {
+      for (const std::int64_t replicas : replica_sweep) {
+        for (const std::int64_t clients : client_sweep) {
+          double base_rate = 0.0;
+          for (const std::int64_t max_batch : batch_sweep) {
+            CellConfig cfg;
+            cfg.replicas = replicas;
+            cfg.queue_cap = static_cast<std::size_t>(cap);
+            cfg.admission = admission;
+            cfg.max_batch = max_batch;
+            cfg.clients = clients;
+            const CellResult cell = run_cell(net, images, backend, cfg, reps);
+            if (max_batch == 1) base_rate = cell.rate;
+            const double speedup = base_rate > 0.0 ? cell.rate / base_rate : 0.0;
+            if (clients == client_sweep.back()) {
+              batched_speedup_at_load = std::max(batched_speedup_at_load, speedup);
+            }
+            table.add_row({backend_name, std::to_string(replicas), std::to_string(cap),
+                           serve::to_string(admission), std::to_string(max_batch),
+                           std::to_string(clients), Table::num(cell.rate, 1),
+                           Table::num(cell.stats.mean_batch_size, 2),
+                           Table::num(cell.p50_ms, 3), Table::num(cell.p95_ms, 3),
+                           std::to_string(cell.refused), Table::num(speedup, 2) + "x"});
+          }
+        }
       }
-      table.add_row({backend_name, std::to_string(max_batch), std::to_string(clients),
-                     Table::num(cell.rate, 1), Table::num(cell.stats.mean_batch_size, 2),
-                     Table::num(cell.stats.latency_p50_ms, 3),
-                     Table::num(cell.stats.latency_p95_ms, 3), Table::num(speedup, 2) + "x"});
     }
   }
   bench::emit(table);

@@ -2,14 +2,18 @@
 //
 //   ./build/examples/serving_demo [--requests 12] [--clients 3]
 //                                 [--max-batch 4] [--max-delay-us 2000]
+//                                 [--replicas 2]
 //                                 [--backend event|gemm|reference]
 //
-// Three things in ~80 lines:
+// Four things in ~120 lines:
 //   1. concurrent clients submit single images and get futures back;
-//   2. the dynamic micro-batcher forms batches (size or deadline), runs them
-//      through the injected snn::InferenceBackend, and the per-request
-//      results are bit-identical to sequential inference on that backend;
-//   3. cancellation and graceful drain, with the server's own stats line.
+//   2. the dynamic micro-batcher forms batches (size or deadline), a router
+//      hands them to --replicas replica sessions over the injected
+//      snn::InferenceBackend, and the per-request results are bit-identical
+//      to sequential inference on that backend whichever replica served them;
+//   3. cancellation and graceful drain, with the server's own stats line;
+//   4. overload: a bounded submit queue whose admission policy (reject vs
+//      shed-oldest) decides who pays when a burst outruns the replicas.
 #include <chrono>
 #include <iostream>
 #include <mutex>
@@ -40,6 +44,7 @@ int main(int argc, char** argv) {
   const std::int64_t clients = args.get_int("clients", 3);
   const std::int64_t max_batch = args.get_int("max-batch", 4);
   const int max_delay_us = args.get_int("max-delay-us", 2000);
+  const std::int64_t replicas = args.get_int("replicas", 2);
 
   // A small random-weight TTFS net on 3x8x8 inputs — the serving layer works
   // the same for a CAT-trained, converted network (see quickstart.cpp).
@@ -54,12 +59,14 @@ int main(int argc, char** argv) {
   serve::ServeOptions opts;
   opts.max_batch = max_batch;
   opts.max_delay = std::chrono::microseconds{max_delay_us};
+  opts.replicas = replicas;  // R sessions over one shared backend
   // Any snn::InferenceBackend plugs in here — stock or caller-defined.
   opts.backend = snn::make_backend(
       snn::backend_kind_from_string(args.get_string("backend", "event")));
   serve::SnnServer server{net, {3, 8, 8}, opts};
   std::cout << "server up: max_batch=" << max_batch << " max_delay=" << max_delay_us
-            << "us backend=" << server.backend().name() << "\n";
+            << "us replicas=" << server.replicas() << " backend=" << server.backend().name()
+            << "\n";
 
   // Concurrent clients, each submitting its share and printing as results
   // land. Futures make the blocking point explicit per request.
@@ -95,5 +102,37 @@ int main(int argc, char** argv) {
 
   server.stop();  // graceful: drains anything still pending
   std::cout << "stats: " << server.stats().describe() << "\n";
+  for (const serve::ReplicaStats& r : server.stats().replicas) {
+    std::cout << "  replica: " << r.completed << " served in " << r.batches
+              << " batches (mean " << r.mean_batch_size << ")\n";
+  }
+
+  // Overload: a queue of 4 slots behind a stalled batcher (long deadline, big
+  // max_batch) takes a burst of 10. Under kRejectWhenFull the 5th..10th are
+  // refused at the door; under kShedOldest the burst is admitted but evicts
+  // the oldest queued requests — fresh work replaces stale work. Either way
+  // the server degrades predictably instead of queueing without bound.
+  for (const serve::AdmissionPolicy policy :
+       {serve::AdmissionPolicy::kRejectWhenFull, serve::AdmissionPolicy::kShedOldest}) {
+    serve::ServeOptions overload = opts;
+    overload.max_batch = 16;
+    overload.max_delay = std::chrono::milliseconds{200};
+    overload.queue_capacity = 4;
+    overload.admission = policy;
+    serve::SnnServer bursty{net, {3, 8, 8}, overload};
+    std::vector<serve::SnnServer::Submission> burst;
+    for (int i = 0; i < 10; ++i) {
+      burst.push_back(bursty.submit(random_tensor({3, 8, 8}, rng, 0.0F, 1.0F)));
+    }
+    int ok = 0, refused = 0;
+    for (auto& sub : burst) {
+      const serve::RequestStatus status = sub.result.get().status;
+      (status == serve::RequestStatus::kOk ? ok : refused)++;
+    }
+    bursty.stop();
+    std::cout << "overload (" << serve::to_string(policy) << ", capacity 4): " << ok
+              << " served, " << refused << " refused -> " << bursty.stats().describe()
+              << "\n";
+  }
   return 0;
 }

@@ -1,26 +1,67 @@
 #include "serve/batcher.h"
 
 #include <algorithm>
+#include <stdexcept>
 
 #include "util/check.h"
 
 namespace ttfs::serve {
 
+std::string to_string(AdmissionPolicy policy) {
+  switch (policy) {
+    case AdmissionPolicy::kBlock: return "block";
+    case AdmissionPolicy::kRejectWhenFull: return "reject";
+    case AdmissionPolicy::kShedOldest: return "shed";
+  }
+  return "unknown";
+}
+
+AdmissionPolicy admission_policy_from_string(const std::string& name) {
+  if (name == "block") return AdmissionPolicy::kBlock;
+  if (name == "reject" || name == "reject_when_full") return AdmissionPolicy::kRejectWhenFull;
+  if (name == "shed" || name == "shed_oldest") return AdmissionPolicy::kShedOldest;
+  throw std::invalid_argument("unknown admission policy '" + name +
+                              "' (want block|reject|shed)");
+}
+
 MicroBatcher::MicroBatcher(BatcherOptions opts) : opts_{opts} {
   TTFS_CHECK(opts.max_batch > 0 && opts.max_delay.count() >= 0);
 }
 
-bool MicroBatcher::push(PendingRequest& req) {
+PushOutcome MicroBatcher::push(PendingRequest& req, std::optional<PendingRequest>* shed) {
+  if (shed != nullptr) shed->reset();
   {
-    const std::lock_guard<std::mutex> lock{mu_};
-    if (closed_) return false;
+    std::unique_lock<std::mutex> lock{mu_};
+    if (full_locked() && !closed_) {
+      switch (opts_.admission) {
+        case AdmissionPolicy::kBlock:
+          // Space frees on a pop, a cancel, or close(); closed_ is re-checked
+          // below so a close during the wait rejects cleanly.
+          space_cv_.wait(lock, [this] { return closed_ || !full_locked(); });
+          break;
+        case AdmissionPolicy::kRejectWhenFull:
+          return PushOutcome::kRejectedFull;
+        case AdmissionPolicy::kShedOldest:
+          // Drop-head: the oldest request makes room and is handed back for
+          // the caller to resolve as shed. The out-param is mandatory here —
+          // dropping the evicted promise on the floor would break its future
+          // with future_error instead of a clean kShed result.
+          TTFS_CHECK_MSG(shed != nullptr,
+                         "kShedOldest push needs the shed out-parameter to hand back "
+                         "the evicted request");
+          shed->emplace(std::move(queue_.front()));
+          queue_.pop_front();
+          break;
+      }
+    }
+    if (closed_) return PushOutcome::kClosed;
     queue_.push_back(std::move(req));
   }
   // Waking the consumer on every push keeps the logic simple; it re-checks
   // the size/deadline policy and goes back to (deadline-bounded) sleep when
   // the batch isn't ready yet.
   cv_.notify_one();
-  return true;
+  return PushOutcome::kQueued;
 }
 
 std::vector<PendingRequest> MicroBatcher::take_locked() {
@@ -32,6 +73,7 @@ std::vector<PendingRequest> MicroBatcher::take_locked() {
     batch.push_back(std::move(queue_.front()));
     queue_.pop_front();
   }
+  if (take > 0) space_cv_.notify_all();  // kBlock pushers may proceed
   return batch;
 }
 
@@ -47,10 +89,10 @@ std::vector<PendingRequest> MicroBatcher::pop_batch() {
     // Pending but below max_batch: sleep until the oldest request's deadline.
     // A push can beat the deadline (size trigger) and close() flushes
     // immediately; both re-enter the loop via no_timeout. On timeout the
-    // deadline is re-checked against the *current* front — a cancel may have
-    // replaced it with a younger request whose max_delay has not elapsed yet,
-    // in which case the loop re-arms on the new deadline instead of flushing
-    // early.
+    // deadline is re-checked against the *current* front — a cancel (or a
+    // concurrent consumer's pop) may have replaced it with a younger request
+    // whose max_delay has not elapsed yet, in which case the loop re-arms on
+    // the new deadline instead of flushing early.
     const auto deadline = queue_.front().enqueued + opts_.max_delay;
     if (cv_.wait_until(lock, deadline) == std::cv_status::timeout && !queue_.empty() &&
         std::chrono::steady_clock::now() >= queue_.front().enqueued + opts_.max_delay) {
@@ -60,15 +102,19 @@ std::vector<PendingRequest> MicroBatcher::pop_batch() {
 }
 
 std::optional<PendingRequest> MicroBatcher::cancel(std::uint64_t id) {
-  const std::lock_guard<std::mutex> lock{mu_};
-  for (auto it = queue_.begin(); it != queue_.end(); ++it) {
-    if (it->id == id) {
-      PendingRequest req = std::move(*it);
-      queue_.erase(it);
-      return req;
+  std::optional<PendingRequest> removed;
+  {
+    const std::lock_guard<std::mutex> lock{mu_};
+    for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+      if (it->id == id) {
+        removed.emplace(std::move(*it));
+        queue_.erase(it);
+        break;
+      }
     }
   }
-  return std::nullopt;
+  if (removed.has_value()) space_cv_.notify_all();  // freed a slot
+  return removed;
 }
 
 void MicroBatcher::close() {
@@ -77,6 +123,7 @@ void MicroBatcher::close() {
     closed_ = true;
   }
   cv_.notify_all();
+  space_cv_.notify_all();
 }
 
 std::size_t MicroBatcher::depth() const {

@@ -1,8 +1,8 @@
 // Dynamic micro-batching queue: the request-forming half of SnnServer.
 //
-// Producers (any thread) push single-image requests; one consumer (the
-// server's scheduler thread) blocks in pop_batch() until a batch is ready.
-// A batch forms when either
+// Producers (any thread) push single-image requests; consumers (the server's
+// dispatcher thread) block in pop_batch() until a batch is ready. A batch
+// forms when either
 //   * size   — the queue reaches max_batch pending requests, or
 //   * delay  — the oldest pending request has waited max_delay,
 // whichever comes first; batches are always popped FIFO. close() starts the
@@ -10,18 +10,34 @@
 // batches until the queue is empty and only then returns an empty vector —
 // that empty batch is the consumer's shutdown signal.
 //
+// Admission control: `capacity` bounds how many requests may sit in the
+// queue, and `admission` chooses what a push does against a full queue —
+//   * kBlock          — push() blocks the submitter until space frees up
+//                       (a pop, a cancel, or close(), which unblocks with
+//                       kClosed);
+//   * kRejectWhenFull — push() returns kRejectedFull immediately, the
+//                       request untouched, for the caller to refuse;
+//   * kShedOldest     — the *oldest* queued request is evicted into `shed`
+//                       to make room, so fresh work replaces stale work
+//                       (drop-head; under overload the head has waited
+//                       longest and is the most likely to be past its
+//                       deadline anyway).
+// capacity == 0 means unbounded, which makes the policy moot.
+//
 // The batcher owns nothing but the queue; completing promises (served,
-// cancelled, rejected) is the server's job, which is why cancel() hands the
-// removed request back instead of resolving it.
+// cancelled, rejected, shed) is the server's job, which is why cancel() and
+// shed hand the removed request back instead of resolving it.
 #pragma once
 
 #include <chrono>
 #include <condition_variable>
+#include <cstddef>
 #include <cstdint>
 #include <deque>
 #include <future>
 #include <mutex>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "serve/result.h"
@@ -37,9 +53,24 @@ struct PendingRequest {
   std::promise<ServeResult> promise;
 };
 
+// What a push does when the bounded queue is full (see header comment).
+enum class AdmissionPolicy { kBlock, kRejectWhenFull, kShedOldest };
+
+// "block" / "reject" / "shed" — the spelling shared by the --admission bench
+// flag and the BENCH_*.json "admission" field.
+std::string to_string(AdmissionPolicy policy);
+// Inverse of to_string; throws std::invalid_argument on an unknown name.
+AdmissionPolicy admission_policy_from_string(const std::string& name);
+
+// Outcome of MicroBatcher::push. kShed requests still count as queued — the
+// *evicted* request comes back through the `shed` out-parameter.
+enum class PushOutcome { kQueued, kRejectedFull, kClosed };
+
 struct BatcherOptions {
   std::int64_t max_batch = 8;                 // flush-on-size threshold
   std::chrono::microseconds max_delay{2000};  // flush-on-deadline bound
+  std::size_t capacity = 0;                   // submit-queue bound; 0 = unbounded
+  AdmissionPolicy admission = AdmissionPolicy::kBlock;
 };
 
 class MicroBatcher {
@@ -49,13 +80,18 @@ class MicroBatcher {
   MicroBatcher(const MicroBatcher&) = delete;
   MicroBatcher& operator=(const MicroBatcher&) = delete;
 
-  // Enqueues a request; false once close() has been called (the request is
-  // handed back untouched via `req` being left valid — the caller rejects it).
-  bool push(PendingRequest& req);
+  // Enqueues a request per the admission policy. On kQueued the request was
+  // consumed (and `shed` may carry the evicted oldest request under
+  // kShedOldest); on kRejectedFull / kClosed `req` is left valid for the
+  // caller to resolve. `shed` is mandatory (checked) when the policy is
+  // kShedOldest and the queue is bounded — the evicted request's promise
+  // must reach the caller, never be destroyed unfulfilled.
+  PushOutcome push(PendingRequest& req, std::optional<PendingRequest>* shed = nullptr);
 
   // Blocks until a batch is ready per the size/delay policy, then pops up to
   // max_batch requests in FIFO order. Returns an empty vector only when the
-  // batcher is closed and fully drained.
+  // batcher is closed and fully drained. Safe for multiple concurrent
+  // consumers (each batch goes to exactly one).
   std::vector<PendingRequest> pop_batch();
 
   // Removes the request with this id if it is still queued (i.e. its batch
@@ -63,8 +99,9 @@ class MicroBatcher {
   // or never existed.
   std::optional<PendingRequest> cancel(std::uint64_t id);
 
-  // Refuses further pushes and wakes the consumer; pending requests keep
-  // flowing out of pop_batch() until drained. Idempotent.
+  // Refuses further pushes (blocked ones wake with kClosed) and wakes the
+  // consumers; pending requests keep flowing out of pop_batch() until
+  // drained. Idempotent.
   void close();
 
   std::size_t depth() const;
@@ -72,12 +109,16 @@ class MicroBatcher {
   const BatcherOptions& options() const { return opts_; }
 
  private:
+  bool full_locked() const {
+    return opts_.capacity != 0 && queue_.size() >= opts_.capacity;
+  }
   // Pops up to max_batch requests; caller holds mu_.
   std::vector<PendingRequest> take_locked();
 
   const BatcherOptions opts_;
   mutable std::mutex mu_;
-  std::condition_variable cv_;
+  std::condition_variable cv_;        // consumers wait for batch-ready
+  std::condition_variable space_cv_;  // kBlock pushers wait for space
   std::deque<PendingRequest> queue_;
   bool closed_ = false;
 };

@@ -15,7 +15,10 @@ namespace ttfs::serve {
 enum class RequestStatus {
   kOk,         // served: logits / predicted / stats are populated
   kCancelled,  // cancel() removed it from the queue before batch formation
-  kRejected,   // submitted after shutdown began
+  kRejected,   // refused at the door: shutdown already began, or the bounded
+               // submit queue was full under AdmissionPolicy::kRejectWhenFull
+  kShed,       // admitted but later evicted as the oldest queued request to
+               // make room under AdmissionPolicy::kShedOldest
 };
 
 struct ServeResult {
@@ -23,7 +26,8 @@ struct ServeResult {
   Tensor logits;                 // (1, classes) when kOk, empty otherwise
   std::int64_t predicted = -1;   // argmax of logits, -1 unless kOk
   snn::SnnRunStats stats;        // this request's own activity counters
-  double latency_seconds = 0.0;  // submit -> completion (also set on cancel)
+  double latency_seconds = 0.0;  // submit -> completion (also set on
+                                 // cancel/shed)
 };
 
 }  // namespace ttfs::serve

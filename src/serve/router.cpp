@@ -1,0 +1,46 @@
+#include "serve/router.h"
+
+#include <utility>
+
+#include "util/check.h"
+
+namespace ttfs::serve {
+
+ReplicaRouter::ReplicaRouter(std::size_t replicas, std::size_t max_inflight)
+    : queue_{max_inflight}, replica_count_{replicas} {
+  TTFS_CHECK_MSG(replicas >= 1, "a server needs at least one replica");
+  TTFS_CHECK_MSG(max_inflight >= 1, "the batch hand-off needs capacity");
+  busy_ = std::make_unique<std::atomic<bool>[]>(replicas);
+  for (std::size_t r = 0; r < replicas; ++r) busy_[r].store(false, std::memory_order_relaxed);
+}
+
+bool ReplicaRouter::dispatch(std::vector<PendingRequest> batch) {
+  return queue_.push(batch) == QueuePush::kOk;
+}
+
+std::optional<std::vector<PendingRequest>> ReplicaRouter::acquire(std::size_t r) {
+  TTFS_DCHECK(r < replica_count_);
+  // The busy flag is observability only (stats/tests); the queue's own lock
+  // orders the actual hand-off.
+  busy_[r].store(false, std::memory_order_release);
+  std::optional<std::vector<PendingRequest>> batch = queue_.pop();
+  if (batch.has_value()) busy_[r].store(true, std::memory_order_release);
+  return batch;
+}
+
+void ReplicaRouter::close() { queue_.close(); }
+
+bool ReplicaRouter::busy(std::size_t r) const {
+  TTFS_DCHECK(r < replica_count_);
+  return busy_[r].load(std::memory_order_acquire);
+}
+
+std::size_t ReplicaRouter::busy_count() const {
+  std::size_t n = 0;
+  for (std::size_t r = 0; r < replica_count_; ++r) {
+    if (busy_[r].load(std::memory_order_acquire)) ++n;
+  }
+  return n;
+}
+
+}  // namespace ttfs::serve

@@ -1,0 +1,74 @@
+// ReplicaRouter — hands formed micro-batches to the serving replicas.
+//
+// The server's dispatcher thread forms batches (MicroBatcher) and
+// dispatch()es them; R replica scheduler threads sit in acquire(r) waiting
+// for work. Assignment resolves at hand-off time: a batch goes to a replica
+// that is *free right now* — every free replica is equally least-loaded
+// (each runs at most one batch at a time and stages none), and a busy
+// replica is never assigned work it cannot start. When every replica is
+// busy, batches queue FIFO in a bounded hand-off and the next replica to
+// free up takes the oldest one — the same result as per-replica queues with
+// perfect work stealing, without a stolen batch ever waiting behind a slow
+// replica.
+//
+// The hand-off capacity (`max_inflight`, default = replica count) bounds how
+// many formed batches may be staged ahead of the compute pool; a full
+// hand-off blocks the dispatcher, which in turn lets the submit queue fill —
+// that is where the server's admission policy takes over. Backpressure thus
+// propagates: replicas -> hand-off -> dispatcher -> submit queue -> clients.
+//
+// close() lets the replicas drain every staged batch, then acquire() returns
+// nullopt — the per-replica shutdown signal. busy(r) / busy_count() /
+// staged() expose the per-replica busy flags and the staged-batch count for
+// ServerStats and tests.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "serve/batcher.h"
+#include "util/bounded_queue.h"
+
+namespace ttfs::serve {
+
+class ReplicaRouter {
+ public:
+  // `replicas` >= 1; `max_inflight` >= 1 bounds staged (assigned-but-not-
+  // running) batches across all replicas.
+  ReplicaRouter(std::size_t replicas, std::size_t max_inflight);
+
+  ReplicaRouter(const ReplicaRouter&) = delete;
+  ReplicaRouter& operator=(const ReplicaRouter&) = delete;
+
+  // Stages one formed batch; blocks while max_inflight batches are already
+  // staged. Returns false only after close() (the dispatcher is the closer,
+  // so this is defensive).
+  bool dispatch(std::vector<PendingRequest> batch);
+
+  // Called by replica `r`'s scheduler thread: blocks until a batch is
+  // assigned to it (FIFO across the hand-off) or the router is closed and
+  // drained (nullopt). Marks the replica busy until its next acquire call.
+  std::optional<std::vector<PendingRequest>> acquire(std::size_t r);
+
+  // Stops dispatching; staged batches still drain through acquire().
+  void close();
+
+  std::size_t replicas() const { return replica_count_; }
+  // Staged batches not yet picked up by a replica.
+  std::size_t staged() const { return queue_.size(); }
+  // True while replica r is running a batch (between acquire returning and
+  // the next acquire call).
+  bool busy(std::size_t r) const;
+  std::size_t busy_count() const;
+
+ private:
+  BoundedQueue<std::vector<PendingRequest>> queue_;
+  // unique_ptr because atomics are not movable and the count is fixed.
+  std::unique_ptr<std::atomic<bool>[]> busy_;
+  std::size_t replica_count_ = 0;
+};
+
+}  // namespace ttfs::serve

@@ -19,7 +19,33 @@ snn::SessionOptions session_options(const std::vector<std::int64_t>& input_shape
   sopts.pool = opts.pool;
   sopts.max_batch_hint = opts.max_batch;
   sopts.input_shape = input_shape;
+  // R replica sessions fan out over one pool: each pre-reserves only its
+  // even worker share (see SessionOptions::concurrent_sessions).
+  sopts.concurrent_sessions = opts.replicas;
   return sopts;
+}
+
+std::vector<snn::InferenceSession> make_sessions(const snn::SnnNetwork& net,
+                                                 const std::vector<std::int64_t>& input_shape,
+                                                 const ServeOptions& opts) {
+  TTFS_CHECK_MSG(opts.replicas >= 1, "SnnServer needs at least one replica");
+  const std::shared_ptr<const snn::InferenceBackend> backend =
+      opts.backend != nullptr ? opts.backend : snn::make_backend(snn::BackendKind::kEventSim);
+  std::vector<snn::InferenceSession> sessions;
+  sessions.reserve(static_cast<std::size_t>(opts.replicas));
+  for (std::int64_t r = 0; r < opts.replicas; ++r) {
+    sessions.emplace_back(net, backend, session_options(input_shape, opts));
+  }
+  return sessions;
+}
+
+BatcherOptions batcher_options(const ServeOptions& opts) {
+  BatcherOptions bopts;
+  bopts.max_batch = opts.max_batch;
+  bopts.max_delay = opts.max_delay;
+  bopts.capacity = opts.queue_capacity;
+  bopts.admission = opts.admission;
+  return bopts;
 }
 
 }  // namespace
@@ -28,22 +54,32 @@ SnnServer::SnnServer(const snn::SnnNetwork& net, std::vector<std::int64_t> input
                      ServeOptions opts)
     : input_shape_{std::move(input_shape)},
       opts_{opts},
-      session_{net,
-               opts.backend != nullptr ? opts.backend
-                                       : snn::make_backend(snn::BackendKind::kEventSim),
-               session_options(input_shape_, opts_)},
-      batcher_{BatcherOptions{opts.max_batch, opts.max_delay}} {
+      sessions_{make_sessions(net, input_shape_, opts_)},
+      batcher_{batcher_options(opts_)},
+      router_{static_cast<std::size_t>(opts_.replicas),
+              static_cast<std::size_t>(opts_.replicas)},
+      stats_{static_cast<std::size_t>(opts_.replicas)} {
   TTFS_CHECK_MSG(input_shape_.size() == 3, "input_shape must be (C, H, W)");
   for (const std::int64_t d : input_shape_) TTFS_CHECK(d > 0);
-  scheduler_ = std::thread{[this] { scheduler_loop(); }};
+  schedulers_.reserve(sessions_.size());
+  for (std::size_t r = 0; r < sessions_.size(); ++r) {
+    schedulers_.emplace_back([this, r] { replica_loop(r); });
+  }
+  dispatcher_ = std::thread{[this] { dispatcher_loop(); }};
 }
 
 SnnServer::~SnnServer() { stop(); }
 
 void SnnServer::stop() {
   std::call_once(stopped_, [this] {
-    batcher_.close();  // drain: pop_batch keeps flushing until empty
-    if (scheduler_.joinable()) scheduler_.join();
+    // Close the submit queue (waking kBlock submitters with kClosed); the
+    // dispatcher drains it into the router, closes the router, and exits;
+    // the replicas drain the router and exit.
+    batcher_.close();
+    if (dispatcher_.joinable()) dispatcher_.join();
+    for (std::thread& t : schedulers_) {
+      if (t.joinable()) t.join();
+    }
   });
 }
 
@@ -59,19 +95,39 @@ SnnServer::Submission SnnServer::submit(Tensor image) {
   Submission sub;
   sub.id = req.id;
   sub.result = req.promise.get_future();
-  // Counted before the push: once the request is queued the scheduler can
+  // Counted before the push: once the request is queued the schedulers can
   // complete it, and a concurrent stats() snapshot must never see
   // completed > submitted.
   stats_.on_submit();
-  if (!batcher_.push(req)) {
-    // Shutdown already began: resolve immediately, never silently drop.
-    stats_.on_reject();
-    ServeResult r;
-    r.status = RequestStatus::kRejected;
-    r.latency_seconds = seconds_since(req.enqueued);
-    req.promise.set_value(std::move(r));
+  std::optional<PendingRequest> shed;
+  switch (batcher_.push(req, &shed)) {
+    case PushOutcome::kQueued:
+      // Admitted — but under kShedOldest someone else may have paid for the
+      // slot: resolve the evicted oldest request right here, never silently
+      // drop it.
+      if (shed.has_value()) {
+        stats_.on_shed();
+        resolve_refused(std::move(*shed), RequestStatus::kShed);
+      }
+      break;
+    case PushOutcome::kRejectedFull:
+      stats_.on_reject_overload();
+      resolve_refused(std::move(req), RequestStatus::kRejected);
+      break;
+    case PushOutcome::kClosed:
+      // Shutdown already began: resolve immediately, never silently drop.
+      stats_.on_reject();
+      resolve_refused(std::move(req), RequestStatus::kRejected);
+      break;
   }
   return sub;
+}
+
+void SnnServer::resolve_refused(PendingRequest req, RequestStatus status) {
+  ServeResult r;
+  r.status = status;
+  r.latency_seconds = seconds_since(req.enqueued);
+  req.promise.set_value(std::move(r));
 }
 
 bool SnnServer::cancel(std::uint64_t id) {
@@ -85,18 +141,35 @@ bool SnnServer::cancel(std::uint64_t id) {
   return true;
 }
 
-ServerStats SnnServer::stats() const { return stats_.snapshot(batcher_.depth()); }
+ServerStats SnnServer::stats() const {
+  std::vector<bool> busy(router_.replicas());
+  for (std::size_t r = 0; r < busy.size(); ++r) busy[r] = router_.busy(r);
+  return stats_.snapshot(batcher_.depth(), busy);
+}
 
-void SnnServer::scheduler_loop() {
+void SnnServer::dispatcher_loop() {
   for (;;) {
     std::vector<PendingRequest> batch = batcher_.pop_batch();
-    if (batch.empty()) return;  // closed and drained
-    run_batch(std::move(batch));
+    if (batch.empty()) {
+      // Closed and drained: staged batches still flow to the replicas, then
+      // each acquire() returns nullopt.
+      router_.close();
+      return;
+    }
+    router_.dispatch(std::move(batch));
   }
 }
 
-void SnnServer::run_batch(std::vector<PendingRequest> batch) {
-  stats_.on_batch();
+void SnnServer::replica_loop(std::size_t r) {
+  for (;;) {
+    std::optional<std::vector<PendingRequest>> batch = router_.acquire(r);
+    if (!batch.has_value()) return;  // router closed and drained
+    run_batch(r, std::move(*batch));
+  }
+}
+
+void SnnServer::run_batch(std::size_t r, std::vector<PendingRequest> batch) {
+  stats_.on_batch(r);
   const std::int64_t n = static_cast<std::int64_t>(batch.size());
   try {
     // One backend-agnostic path: the session views request images where they
@@ -111,21 +184,21 @@ void SnnServer::run_batch(std::vector<PendingRequest> batch) {
     ropts.logit_rows = true;
     ropts.predictions = true;
     ropts.stats = true;
-    snn::RunResult run = session_.run(snn::BatchView{images}, ropts);
+    snn::RunResult run = sessions_[r].run(snn::BatchView{images}, ropts);
 
-    // FIFO completion: futures resolve in submission order, latency stamped
-    // at resolution.
+    // FIFO completion within the batch: futures resolve in submission order,
+    // latency stamped at resolution.
     for (std::int64_t i = 0; i < n; ++i) {
       const std::size_t idx = static_cast<std::size_t>(i);
-      ServeResult r;
-      r.status = RequestStatus::kOk;
-      r.logits = std::move(run.logit_rows[idx]);
-      r.predicted = run.predicted[idx];
-      r.stats = std::move(run.stats[idx]);
+      ServeResult res;
+      res.status = RequestStatus::kOk;
+      res.logits = std::move(run.logit_rows[idx]);
+      res.predicted = run.predicted[idx];
+      res.stats = std::move(run.stats[idx]);
       const double latency = seconds_since(batch[idx].enqueued);
-      r.latency_seconds = latency;
-      stats_.on_complete(latency);
-      batch[idx].promise.set_value(std::move(r));
+      res.latency_seconds = latency;
+      stats_.on_complete(r, latency);
+      batch[idx].promise.set_value(std::move(res));
     }
   } catch (...) {
     // A backend failure poisons the whole batch; waiters see the exception

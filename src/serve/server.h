@@ -4,28 +4,39 @@
 // callers hand a session a batch and wait. A serving workload is the
 // opposite shape — latency-sensitive single-image requests arriving on many
 // threads (T2FSNN-style TTFS inference is per-request). SnnServer bridges
-// the two:
+// the two, sharded across R replicas of the compute path:
 //
-//   submit() (any thread) -> MicroBatcher (flush on max_batch or max_delay)
-//     -> scheduler thread -> InferenceSession::run on the injected
-//        InferenceBackend, one SimArena per pool chunk, reused across batches
+//   submit() (any thread)
+//     -> bounded submit queue + admission policy (Block / RejectWhenFull /
+//        ShedOldest: predictable degradation when arrival outruns compute)
+//     -> MicroBatcher (flush on max_batch or max_delay) on the dispatcher
+//        thread
+//     -> ReplicaRouter hands each formed batch to a free replica (FIFO
+//        backlog when all are busy)
+//     -> replica scheduler thread r: InferenceSession::run on replica r's
+//        own session — per-replica arenas, one shared stateless backend
 //     -> futures resolve with logits, predicted class, SnnRunStats, latency
 //
 // The backend is injected through ServeOptions as a polymorphic
 // snn::InferenceBackend (event simulator by default; snn::make_backend or
-// any custom implementation) — the server itself has exactly one batch
-// path, whatever realization runs underneath.
+// any custom implementation). Backends are stateless const objects, so all
+// replicas share one instance — replication multiplies sessions (mutable
+// per-caller state), never weights or backend code.
 //
 // Determinism: per-sample results are bit-identical to running the same
 // backend sequentially on the same inputs, no matter how requests interleave
-// into batches (the session guarantees sample independence; asserted under
-// concurrency in tests/serve_stress_test.cpp).
+// into batches or which replica runs each batch (sessions guarantee sample
+// independence; asserted for R in {1, 2, 4} under concurrency in
+// tests/serve_stress_test.cpp). With replicas > 1, *completion order across
+// batches* is no longer globally FIFO — batches run concurrently — but
+// completion within a batch still is.
 //
-// Lifecycle: stop() (or the destructor) closes the queue, *drains* every
-// pending request through normal batches, then joins the scheduler — no
-// accepted request is ever dropped. Submissions racing past stop() resolve
-// with kRejected. cancel(id) removes a request only while it is still
-// queued; once its batch forms it completes normally.
+// Lifecycle: stop() (or the destructor) closes the submit queue, *drains*
+// every pending request through normal batches across all replicas, then
+// joins the scheduler threads — no accepted request is ever dropped.
+// Submissions racing past stop() (including kBlock submitters parked on a
+// full queue) resolve with kRejected. cancel(id) removes a request only
+// while it is still queued; once its batch forms it completes normally.
 #pragma once
 
 #include <atomic>
@@ -39,6 +50,7 @@
 
 #include "serve/batcher.h"
 #include "serve/result.h"
+#include "serve/router.h"
 #include "serve/stats.h"
 #include "snn/engine.h"
 #include "snn/network.h"
@@ -52,21 +64,32 @@ namespace ttfs::serve {
 struct ServeOptions {
   std::int64_t max_batch = 8;                 // flush when this many queued
   std::chrono::microseconds max_delay{2000};  // flush when the oldest waited this long
+  // Compute replicas: independent InferenceSessions (own arenas, own
+  // scheduler thread) over one shared backend and network. More replicas
+  // keep the compute pool busy when a single batch cannot fill it.
+  std::int64_t replicas = 1;
+  // Bound on queued (not yet batch-formed) requests; 0 = unbounded. Together
+  // with `admission` this is the overload valve: when request arrival
+  // outruns the replicas, the queue fills and the policy decides who pays —
+  // the submitter (kBlock), the newest request (kRejectWhenFull) or the
+  // oldest (kShedOldest).
+  std::size_t queue_capacity = 0;
+  AdmissionPolicy admission = AdmissionPolicy::kBlock;
   // Inference realization formed batches run through; the event-sim backend
   // when null. Backends are stateless and may be shared across servers.
   std::shared_ptr<const snn::InferenceBackend> backend;
   // Compute pool for batch fan-out: global_pool() when null; a 0-thread pool
-  // runs batches inline on the scheduler thread (single-threaded serving).
+  // runs batches inline on the replica scheduler threads.
   ThreadPool* pool = nullptr;
 };
 
 class SnnServer {
  public:
   // The network must outlive the server and must not be mutated while it is
-  // running (the session builds the weight pack here, before any request can
-  // race on it). `input_shape` is the mandatory (C, H, W) of every request
-  // image — fixed up front so batches are uniform and the session's arenas
-  // are pre-reserved once.
+  // running (the replica sessions build the weight pack here, before any
+  // request can race on it). `input_shape` is the mandatory (C, H, W) of
+  // every request image — fixed up front so batches are uniform and each
+  // replica's arenas are pre-reserved once.
   SnnServer(const snn::SnnNetwork& net, std::vector<std::int64_t> input_shape,
             ServeOptions opts = {});
   ~SnnServer();  // stop()
@@ -80,36 +103,44 @@ class SnnServer {
   };
 
   // Enqueues one (C, H, W) image from any thread. Throws std::invalid_argument
-  // on a shape mismatch; never blocks on inference.
+  // on a shape mismatch. Never blocks on inference; under kBlock it MAY block
+  // on a full submit queue until space frees (that is the policy's point).
   Submission submit(Tensor image);
 
   // True iff the request was still queued: its future resolves kCancelled.
   // False once its batch has formed — the result arrives normally.
   bool cancel(std::uint64_t id);
 
-  // Stops accepting, drains everything pending through normal batches, joins
-  // the scheduler. Idempotent; the destructor calls it.
+  // Stops accepting, drains everything pending through normal batches on all
+  // replicas, joins dispatcher + schedulers. Idempotent; the destructor
+  // calls it.
   void stop();
 
   ServerStats stats() const;
   const ServeOptions& options() const { return opts_; }
   const std::vector<std::int64_t>& input_shape() const { return input_shape_; }
-  const snn::InferenceBackend& backend() const { return session_.backend(); }
+  const snn::InferenceBackend& backend() const { return sessions_.front().backend(); }
+  std::int64_t replicas() const { return static_cast<std::int64_t>(sessions_.size()); }
 
  private:
-  void scheduler_loop();
-  void run_batch(std::vector<PendingRequest> batch);
+  void dispatcher_loop();
+  void replica_loop(std::size_t r);
+  void run_batch(std::size_t r, std::vector<PendingRequest> batch);
+  void resolve_refused(PendingRequest req, RequestStatus status);
 
   const std::vector<std::int64_t> input_shape_;
   const ServeOptions opts_;
-  // Scheduler-thread-only: owns the packed-weight binding and per-chunk
-  // arenas, pre-reserved for max_batch fan-out and reused for the server's
-  // whole life.
-  snn::InferenceSession session_;
+  // One session per replica: each owns its packed-weight binding reference
+  // and per-chunk arenas, pre-reserved for max_batch fan-out over its even
+  // share of the pool and reused for the server's whole life. sessions_[r]
+  // is touched only by replica thread r.
+  std::vector<snn::InferenceSession> sessions_;
   MicroBatcher batcher_;
+  ReplicaRouter router_;
   StatsCollector stats_;
   std::atomic<std::uint64_t> next_id_{1};
-  std::thread scheduler_;
+  std::thread dispatcher_;
+  std::vector<std::thread> schedulers_;
   std::once_flag stopped_;
 };
 

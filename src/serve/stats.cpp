@@ -2,15 +2,23 @@
 
 #include <sstream>
 
+#include "util/check.h"
+
 namespace ttfs::serve {
 
 std::string ServerStats::describe() const {
   std::ostringstream os;
   os.precision(3);
   os << "served " << completed << "/" << submitted << " (" << cancelled << " cancelled, "
-     << rejected << " rejected) in " << batches_formed << " batches (mean " << mean_batch_size
-     << "), p50 " << latency_p50_ms << "ms p95 " << latency_p95_ms << "ms";
+     << rejected << " rejected, " << rejected_overload << " overload-rejected, " << shed
+     << " shed) in " << batches_formed << " batches (mean " << mean_batch_size << ") on "
+     << replicas.size() << " replica" << (replicas.size() == 1 ? "" : "s") << ", p50 "
+     << latency_p50_ms << "ms p95 " << latency_p95_ms << "ms";
   return os.str();
+}
+
+StatsCollector::StatsCollector(std::size_t replicas) : replicas_(replicas) {
+  TTFS_CHECK(replicas >= 1);
 }
 
 void StatsCollector::on_submit() {
@@ -28,24 +36,41 @@ void StatsCollector::on_reject() {
   ++rejected_;
 }
 
-void StatsCollector::on_batch() {
+void StatsCollector::on_reject_overload() {
   const std::lock_guard<std::mutex> lock{mu_};
-  ++batches_;
+  ++rejected_overload_;
 }
 
-void StatsCollector::on_complete(double latency_seconds) {
+void StatsCollector::on_shed() {
+  const std::lock_guard<std::mutex> lock{mu_};
+  ++shed_;
+}
+
+void StatsCollector::on_batch(std::size_t replica) {
+  const std::lock_guard<std::mutex> lock{mu_};
+  ++batches_;
+  ++replicas_.at(replica).batches;
+}
+
+void StatsCollector::on_complete(std::size_t replica, double latency_seconds) {
   const std::lock_guard<std::mutex> lock{mu_};
   ++completed_;
   latency_.record(latency_seconds);
+  ReplicaSlot& slot = replicas_.at(replica);
+  ++slot.completed;
+  slot.latency.record(latency_seconds);
 }
 
-ServerStats StatsCollector::snapshot(std::size_t queue_depth) const {
+ServerStats StatsCollector::snapshot(std::size_t queue_depth,
+                                     const std::vector<bool>& busy) const {
   const std::lock_guard<std::mutex> lock{mu_};
   ServerStats s;
   s.submitted = submitted_;
   s.completed = completed_;
   s.cancelled = cancelled_;
   s.rejected = rejected_;
+  s.rejected_overload = rejected_overload_;
+  s.shed = shed_;
   s.batches_formed = batches_;
   s.queue_depth = queue_depth;
   s.mean_batch_size =
@@ -53,6 +78,19 @@ ServerStats StatsCollector::snapshot(std::size_t queue_depth) const {
   s.latency_mean_ms = latency_.mean() * 1e3;
   s.latency_p50_ms = latency_.quantile(0.50) * 1e3;
   s.latency_p95_ms = latency_.quantile(0.95) * 1e3;
+  s.replicas.resize(replicas_.size());
+  for (std::size_t r = 0; r < replicas_.size(); ++r) {
+    const ReplicaSlot& slot = replicas_[r];
+    ReplicaStats& out = s.replicas[r];
+    out.batches = slot.batches;
+    out.completed = slot.completed;
+    out.mean_batch_size = slot.batches == 0 ? 0.0
+                                            : static_cast<double>(slot.completed) /
+                                                  static_cast<double>(slot.batches);
+    out.latency_p50_ms = slot.latency.quantile(0.50) * 1e3;
+    out.latency_p95_ms = slot.latency.quantile(0.95) * 1e3;
+    out.busy = r < busy.size() && busy[r];
+  }
   return s;
 }
 

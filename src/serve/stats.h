@@ -1,56 +1,90 @@
 // Serving-side observability: counters + latency distribution.
 //
 // StatsCollector is the thread-safe sink the server feeds from every thread
-// that touches a request (submitters, the scheduler); ServerStats is the
-// consistent point-in-time snapshot handed to callers. Latencies go through
-// util/latency_histogram.h, so p50/p95 are O(1) memory no matter how many
-// requests have been served.
+// that touches a request (submitters, the dispatcher, the replica
+// schedulers); ServerStats is the consistent point-in-time snapshot handed
+// to callers. Latencies go through util/latency_histogram.h, so p50/p95 are
+// O(1) memory no matter how many requests have been served — one histogram
+// server-wide plus one per replica, so a slow or starved replica is visible
+// on its own.
 #pragma once
 
 #include <cstdint>
 #include <mutex>
 #include <string>
+#include <vector>
 
 #include "util/latency_histogram.h"
 
 namespace ttfs::serve {
 
+// One replica's share of the work: which scheduler ran how many batches, how
+// big they were, and the completion-latency distribution of the requests it
+// served.
+struct ReplicaStats {
+  std::uint64_t batches = 0;     // batches this replica ran
+  std::uint64_t completed = 0;   // requests it completed
+  double mean_batch_size = 0.0;  // completed / batches
+  double latency_p50_ms = 0.0;   // submit -> completion, this replica only
+  double latency_p95_ms = 0.0;
+  bool busy = false;             // running a batch at snapshot time
+};
+
 struct ServerStats {
-  std::uint64_t submitted = 0;       // all submit() calls (rejected included)
-  std::uint64_t completed = 0;       // served with logits
-  std::uint64_t cancelled = 0;       // removed before batch formation
-  std::uint64_t rejected = 0;        // refused (shutdown)
-  std::uint64_t batches_formed = 0;  // pop_batch() flushes that ran
-  std::size_t queue_depth = 0;       // pending at snapshot time
-  double mean_batch_size = 0.0;      // completed / batches_formed
-  double latency_mean_ms = 0.0;      // submit -> completion, served requests
+  std::uint64_t submitted = 0;          // all submit() calls (refused included)
+  std::uint64_t completed = 0;          // served with logits
+  std::uint64_t cancelled = 0;          // removed before batch formation
+  std::uint64_t rejected = 0;           // refused: shutdown already began
+  std::uint64_t rejected_overload = 0;  // refused: queue full (kRejectWhenFull)
+  std::uint64_t shed = 0;               // evicted oldest-first (kShedOldest)
+  std::uint64_t batches_formed = 0;     // pop_batch() flushes that ran
+  std::size_t queue_depth = 0;          // pending at snapshot time
+  double mean_batch_size = 0.0;         // completed / batches_formed
+  double latency_mean_ms = 0.0;         // submit -> completion, served requests
   double latency_p50_ms = 0.0;
   double latency_p95_ms = 0.0;
+  std::vector<ReplicaStats> replicas;   // one entry per serving replica
 
   // One line for logs/demos, e.g.
-  // "served 96/96 (0 cancelled, 0 rejected) in 12 batches (mean 8.0), p50 1.93ms p95 3.1ms".
+  // "served 96/96 (0 cancelled, 0 rejected, 0 overload-rejected, 0 shed) in
+  //  12 batches (mean 8.0) on 2 replicas, p50 1.93ms p95 3.1ms".
   std::string describe() const;
 };
 
 class StatsCollector {
  public:
+  // `replicas` sizes the per-replica slots (>= 1).
+  explicit StatsCollector(std::size_t replicas = 1);
+
   void on_submit();
   void on_cancel();
   void on_reject();
-  void on_batch();
-  void on_complete(double latency_seconds);
+  void on_reject_overload();
+  void on_shed();
+  void on_batch(std::size_t replica);
+  void on_complete(std::size_t replica, double latency_seconds);
 
-  // `queue_depth` comes from the batcher (it owns the queue lock).
-  ServerStats snapshot(std::size_t queue_depth) const;
+  // `queue_depth` comes from the batcher and `busy` flags from the router
+  // (they own the respective locks/flags).
+  ServerStats snapshot(std::size_t queue_depth, const std::vector<bool>& busy) const;
 
  private:
+  struct ReplicaSlot {
+    std::uint64_t batches = 0;
+    std::uint64_t completed = 0;
+    LatencyHistogram latency;
+  };
+
   mutable std::mutex mu_;
   std::uint64_t submitted_ = 0;
   std::uint64_t completed_ = 0;
   std::uint64_t cancelled_ = 0;
   std::uint64_t rejected_ = 0;
+  std::uint64_t rejected_overload_ = 0;
+  std::uint64_t shed_ = 0;
   std::uint64_t batches_ = 0;
   LatencyHistogram latency_;
+  std::vector<ReplicaSlot> replicas_;
 };
 
 }  // namespace ttfs::serve

@@ -1,0 +1,146 @@
+// Bounded MPMC queue: the blocking hand-off primitive of the serving layer.
+//
+// A mutex/cv queue with a hard capacity and an explicit close protocol,
+// shaped for producer/consumer pipelines that must degrade predictably when
+// the producers outrun the consumers:
+//
+//   * push()      — blocks while full (backpressure propagates upstream);
+//   * try_push()  — refuses immediately when full (load shedding at the
+//                   door);
+//   * shed_push() — always admits the new element, evicting the *oldest*
+//                   queued one when full and handing it back so the caller
+//                   can resolve it (drop-head overload policy);
+//   * pop()       — blocks until an element arrives or the queue is closed
+//                   *and* drained, so consumers never lose accepted work.
+//
+// close() wakes everything: blocked pushers return kClosed, poppers drain
+// whatever is left and then get nullopt — the shutdown signal. Any number of
+// producers and consumers may operate concurrently; FIFO order is global
+// (single queue, single lock).
+//
+// The serving layer uses one as the batch hand-off between the batch-forming
+// dispatcher and the replica scheduler threads (serve/router.h), but nothing
+// here is serving-specific.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+namespace ttfs {
+
+// Outcome of a push attempt. kFull is only possible from try_push().
+enum class QueuePush { kOk, kFull, kClosed };
+
+template <typename T>
+class BoundedQueue {
+ public:
+  // capacity == 0 means unbounded (push never blocks, try_push never refuses).
+  explicit BoundedQueue(std::size_t capacity = 0) : capacity_{capacity} {}
+
+  BoundedQueue(const BoundedQueue&) = delete;
+  BoundedQueue& operator=(const BoundedQueue&) = delete;
+
+  // Blocks while the queue is full; moves from `v` only on kOk.
+  QueuePush push(T& v) {
+    std::unique_lock<std::mutex> lock{mu_};
+    space_cv_.wait(lock, [this] { return closed_ || !full_locked(); });
+    if (closed_) return QueuePush::kClosed;
+    items_.push_back(std::move(v));
+    lock.unlock();
+    item_cv_.notify_one();
+    return QueuePush::kOk;
+  }
+
+  // Never blocks: kFull leaves `v` untouched for the caller to resolve.
+  QueuePush try_push(T& v) {
+    {
+      const std::lock_guard<std::mutex> lock{mu_};
+      if (closed_) return QueuePush::kClosed;
+      if (full_locked()) return QueuePush::kFull;
+      items_.push_back(std::move(v));
+    }
+    item_cv_.notify_one();
+    return QueuePush::kOk;
+  }
+
+  // Never blocks and never refuses: when full, the oldest queued element is
+  // evicted into `shed` to make room (drop-head). `shed` is left empty when
+  // there was space.
+  QueuePush shed_push(T& v, std::optional<T>& shed) {
+    shed.reset();
+    {
+      const std::lock_guard<std::mutex> lock{mu_};
+      if (closed_) return QueuePush::kClosed;
+      if (full_locked()) {
+        shed.emplace(std::move(items_.front()));
+        items_.pop_front();
+      }
+      items_.push_back(std::move(v));
+    }
+    item_cv_.notify_one();
+    return QueuePush::kOk;
+  }
+
+  // Blocks until an element is available; nullopt only once closed *and*
+  // drained (accepted elements always reach a consumer).
+  std::optional<T> pop() {
+    std::unique_lock<std::mutex> lock{mu_};
+    item_cv_.wait(lock, [this] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return std::nullopt;  // closed and drained
+    T v = std::move(items_.front());
+    items_.pop_front();
+    lock.unlock();
+    space_cv_.notify_one();
+    return v;
+  }
+
+  std::optional<T> try_pop() {
+    std::optional<T> v;
+    {
+      const std::lock_guard<std::mutex> lock{mu_};
+      if (items_.empty()) return std::nullopt;
+      v.emplace(std::move(items_.front()));
+      items_.pop_front();
+    }
+    space_cv_.notify_one();
+    return v;
+  }
+
+  // Refuses further pushes and wakes every waiter. Idempotent.
+  void close() {
+    {
+      const std::lock_guard<std::mutex> lock{mu_};
+      closed_ = true;
+    }
+    item_cv_.notify_all();
+    space_cv_.notify_all();
+  }
+
+  bool closed() const {
+    const std::lock_guard<std::mutex> lock{mu_};
+    return closed_;
+  }
+
+  std::size_t size() const {
+    const std::lock_guard<std::mutex> lock{mu_};
+    return items_.size();
+  }
+
+  std::size_t capacity() const { return capacity_; }
+
+ private:
+  bool full_locked() const { return capacity_ != 0 && items_.size() >= capacity_; }
+
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable item_cv_;   // consumers wait here
+  std::condition_variable space_cv_;  // blocked pushers wait here
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace ttfs

@@ -1,9 +1,12 @@
 // Concurrency stress tests for SnnServer: many submitter threads race against
-// the batching scheduler and the compute pool, and every returned logit
-// vector must still be bit-identical to a sequential golden on the same
-// input — batching composition, arena reuse and thread interleaving must
-// never leak into results. This suite (with serve_test and the thread-pool
-// suites) runs under the ThreadSanitizer CI lane.
+// the batching dispatcher, the replica schedulers and the compute pool, and
+// every returned logit vector must still be bit-identical to a sequential
+// golden on the same input — batching composition, replica routing, arena
+// reuse and thread interleaving must never leak into results. Each backend is
+// exercised at replica counts 1, 2 and 4 so sharding is covered by the same
+// goldens as the single-replica path. This suite (with serve_test,
+// serve_admission_test and the thread-pool suites) runs under the
+// ThreadSanitizer CI lane.
 #include <gtest/gtest.h>
 
 #include <atomic>
@@ -58,10 +61,11 @@ void expect_rows_equal(const Tensor& got, const float* want, std::int64_t classe
   }
 }
 
-// N threads hammer submit() while the scheduler forms whatever batch mix the
-// interleaving produces; each future's logits must equal the sequential
-// golden of its own input bit for bit.
-void stress_backend(snn::BackendKind backend) {
+// N threads hammer submit() while the dispatcher forms whatever batch mix the
+// interleaving produces and `replicas` scheduler threads race for the formed
+// batches; each future's logits must equal the sequential golden of its own
+// input bit for bit, whichever replica served it.
+void stress_backend(snn::BackendKind backend, std::int64_t replicas) {
   Rng rng{101};
   const snn::SnnNetwork net = make_net(rng);
   const auto images = make_images(rng, kTotal);
@@ -87,9 +91,11 @@ void stress_backend(snn::BackendKind backend) {
   ServeOptions opts;
   opts.max_batch = 8;
   opts.max_delay = std::chrono::microseconds{300};
+  opts.replicas = replicas;
   opts.backend = snn::make_backend(backend);
   opts.pool = &compute_pool;
   SnnServer server{net, {3, 8, 8}, opts};
+  ASSERT_EQ(server.replicas(), replicas);
 
   std::vector<std::future<ServeResult>> futures(static_cast<std::size_t>(kTotal));
   std::vector<std::thread> submitters;
@@ -116,20 +122,47 @@ void stress_backend(snn::BackendKind backend) {
   EXPECT_EQ(stats.completed, static_cast<std::uint64_t>(kTotal));
   EXPECT_GE(stats.batches_formed, static_cast<std::uint64_t>(kTotal / opts.max_batch));
   EXPECT_GE(stats.mean_batch_size, 1.0);
+  // Per-replica accounting must tile the totals exactly, whatever the split.
+  ASSERT_EQ(stats.replicas.size(), static_cast<std::size_t>(replicas));
+  std::uint64_t replica_batches = 0;
+  std::uint64_t replica_completed = 0;
+  for (const ReplicaStats& r : stats.replicas) {
+    replica_batches += r.batches;
+    replica_completed += r.completed;
+    EXPECT_FALSE(r.busy);  // stopped: nothing can still be running
+  }
+  EXPECT_EQ(replica_batches, stats.batches_formed);
+  EXPECT_EQ(replica_completed, stats.completed);
 }
 
-TEST(ServeStress, EventSimBitIdenticalToSequentialGolden) {
-  stress_backend(snn::BackendKind::kEventSim);
+TEST(ServeStress, EventSimBitIdenticalToSequentialGoldenR1) {
+  stress_backend(snn::BackendKind::kEventSim, 1);
 }
 
-TEST(ServeStress, GemmBitIdenticalToSequentialClassifyGolden) {
-  stress_backend(snn::BackendKind::kGemm);
+TEST(ServeStress, EventSimBitIdenticalToSequentialGoldenR2) {
+  stress_backend(snn::BackendKind::kEventSim, 2);
+}
+
+TEST(ServeStress, EventSimBitIdenticalToSequentialGoldenR4) {
+  stress_backend(snn::BackendKind::kEventSim, 4);
+}
+
+TEST(ServeStress, GemmBitIdenticalToSequentialClassifyGoldenR1) {
+  stress_backend(snn::BackendKind::kGemm, 1);
+}
+
+TEST(ServeStress, GemmBitIdenticalToSequentialClassifyGoldenR2) {
+  stress_backend(snn::BackendKind::kGemm, 2);
+}
+
+TEST(ServeStress, GemmBitIdenticalToSequentialClassifyGoldenR4) {
+  stress_backend(snn::BackendKind::kGemm, 4);
 }
 
 // Cancellations race batch formation from every submitter thread; whatever
 // the interleaving, cancel() returning true must mean kCancelled and false
 // must mean the request was served with correct logits.
-TEST(ServeStress, CancellationChurnStaysConsistent) {
+void cancellation_churn(std::int64_t replicas) {
   Rng rng{303};
   const snn::SnnNetwork net = make_net(rng);
   const auto images = make_images(rng, kTotal);
@@ -143,6 +176,7 @@ TEST(ServeStress, CancellationChurnStaysConsistent) {
   ServeOptions opts;
   opts.max_batch = 4;
   opts.max_delay = std::chrono::microseconds{200};
+  opts.replicas = replicas;
   opts.pool = &compute_pool;
   SnnServer server{net, {3, 8, 8}, opts};
 
@@ -180,6 +214,61 @@ TEST(ServeStress, CancellationChurnStaysConsistent) {
   EXPECT_EQ(stats.cancelled, cancelled);
   EXPECT_EQ(stats.completed + stats.cancelled, static_cast<std::uint64_t>(kTotal));
   EXPECT_EQ(stats.rejected, 0U);
+}
+
+TEST(ServeStress, CancellationChurnStaysConsistent) { cancellation_churn(1); }
+
+TEST(ServeStress, CancellationChurnStaysConsistentSharded) { cancellation_churn(2); }
+
+// Bounded queue + kBlock under many submitters: backpressure may park any
+// subset of them, but every accepted request must still be served bit-exact
+// and the counters must balance — nothing lost, nothing refused.
+TEST(ServeStress, BlockAdmissionUnderConcurrentOverload) {
+  Rng rng{404};
+  const snn::SnnNetwork net = make_net(rng);
+  const auto images = make_images(rng, kTotal);
+  Tensor goldens{{kTotal, 10}};
+  for (std::int64_t i = 0; i < kTotal; ++i) {
+    const Tensor row = snn::run_event_sim(net, images[static_cast<std::size_t>(i)]).logits;
+    std::copy(row.data(), row.data() + 10, goldens.data() + i * 10);
+  }
+
+  ThreadPool compute_pool{2};
+  ServeOptions opts;
+  opts.max_batch = 4;
+  opts.max_delay = std::chrono::microseconds{200};
+  opts.replicas = 2;
+  opts.queue_capacity = 3;  // far below the offered burst: submitters stall
+  opts.admission = AdmissionPolicy::kBlock;
+  opts.pool = &compute_pool;
+  SnnServer server{net, {3, 8, 8}, opts};
+
+  std::vector<std::future<ServeResult>> futures(static_cast<std::size_t>(kTotal));
+  std::vector<std::thread> submitters;
+  submitters.reserve(kThreads);
+  for (std::int64_t t = 0; t < kThreads; ++t) {
+    submitters.emplace_back([&, t] {
+      for (std::int64_t j = 0; j < kPerThread; ++j) {
+        const std::int64_t i = t * kPerThread + j;
+        futures[static_cast<std::size_t>(i)] =
+            server.submit(images[static_cast<std::size_t>(i)]).result;
+      }
+    });
+  }
+  for (auto& th : submitters) th.join();
+
+  for (std::int64_t i = 0; i < kTotal; ++i) {
+    ServeResult r = futures[static_cast<std::size_t>(i)].get();
+    ASSERT_EQ(r.status, RequestStatus::kOk) << "request " << i;
+    expect_rows_equal(r.logits, goldens.data() + i * 10, 10, i);
+  }
+  server.stop();
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(stats.submitted, static_cast<std::uint64_t>(kTotal));
+  EXPECT_EQ(stats.completed, static_cast<std::uint64_t>(kTotal));
+  EXPECT_EQ(stats.rejected, 0U);
+  EXPECT_EQ(stats.rejected_overload, 0U);
+  EXPECT_EQ(stats.shed, 0U);
 }
 
 }  // namespace

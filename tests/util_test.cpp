@@ -5,8 +5,10 @@
 #include <mutex>
 #include <set>
 #include <sstream>
+#include <thread>
 #include <vector>
 
+#include "util/bounded_queue.h"
 #include "util/check.h"
 #include "util/cli.h"
 #include "util/env.h"
@@ -301,6 +303,121 @@ TEST(Cli, ParsesForms) {
 TEST(Env, ScaledPicksQuickByDefault) {
   // TTFS_SCALE unset in the test environment.
   EXPECT_EQ(scaled(3, 100), run_scale() == Scale::kFull ? 100 : 3);
+}
+
+TEST(BoundedQueue, FifoSingleThread) {
+  BoundedQueue<int> q{4};
+  for (int i = 1; i <= 3; ++i) {
+    int v = i;
+    EXPECT_EQ(q.push(v), QueuePush::kOk);
+  }
+  EXPECT_EQ(q.size(), 3U);
+  for (int i = 1; i <= 3; ++i) EXPECT_EQ(q.try_pop().value(), i);
+  EXPECT_FALSE(q.try_pop().has_value());
+}
+
+TEST(BoundedQueue, TryPushRefusesWhenFullAndLeavesValueIntact) {
+  BoundedQueue<std::string> q{2};
+  std::string a = "a", b = "b", c = "c";
+  EXPECT_EQ(q.try_push(a), QueuePush::kOk);
+  EXPECT_EQ(q.try_push(b), QueuePush::kOk);
+  EXPECT_EQ(q.try_push(c), QueuePush::kFull);
+  EXPECT_EQ(c, "c");  // untouched: the caller still owns it
+  EXPECT_EQ(q.try_pop().value(), "a");
+  EXPECT_EQ(q.try_push(c), QueuePush::kOk);
+}
+
+TEST(BoundedQueue, ShedPushEvictsOldest) {
+  BoundedQueue<int> q{2};
+  std::optional<int> shed;
+  int v1 = 1, v2 = 2, v3 = 3, v4 = 4;
+  EXPECT_EQ(q.shed_push(v1, shed), QueuePush::kOk);
+  EXPECT_FALSE(shed.has_value());
+  EXPECT_EQ(q.shed_push(v2, shed), QueuePush::kOk);
+  EXPECT_FALSE(shed.has_value());
+  EXPECT_EQ(q.shed_push(v3, shed), QueuePush::kOk);
+  EXPECT_EQ(shed.value(), 1);  // drop-head: oldest goes first
+  EXPECT_EQ(q.shed_push(v4, shed), QueuePush::kOk);
+  EXPECT_EQ(shed.value(), 2);
+  EXPECT_EQ(q.try_pop().value(), 3);
+  EXPECT_EQ(q.try_pop().value(), 4);
+}
+
+TEST(BoundedQueue, UnboundedNeverRefuses) {
+  BoundedQueue<int> q;  // capacity 0 = unbounded
+  std::optional<int> shed;
+  for (int i = 0; i < 1000; ++i) {
+    int v = i;
+    ASSERT_EQ(i % 2 == 0 ? q.try_push(v) : q.shed_push(v, shed), QueuePush::kOk);
+    ASSERT_FALSE(shed.has_value());
+  }
+  EXPECT_EQ(q.size(), 1000U);
+}
+
+TEST(BoundedQueue, CloseWakesPoppersAfterDrain) {
+  BoundedQueue<int> q{4};
+  int v = 7;
+  ASSERT_EQ(q.push(v), QueuePush::kOk);
+  q.close();
+  int w = 8;
+  EXPECT_EQ(q.push(w), QueuePush::kClosed);
+  EXPECT_EQ(q.try_push(w), QueuePush::kClosed);
+  EXPECT_EQ(q.pop().value(), 7);           // accepted work still drains
+  EXPECT_FALSE(q.pop().has_value());       // then the shutdown signal
+  EXPECT_FALSE(q.try_pop().has_value());
+}
+
+TEST(BoundedQueue, CloseUnblocksParkedPusher) {
+  BoundedQueue<int> q{1};
+  int v = 1;
+  ASSERT_EQ(q.push(v), QueuePush::kOk);
+  std::atomic<int> outcome{-1};
+  std::thread pusher{[&] {
+    int w = 2;
+    outcome.store(static_cast<int>(q.push(w)));  // parks on the full queue
+  }};
+  std::this_thread::sleep_for(std::chrono::milliseconds{20});
+  q.close();
+  pusher.join();
+  EXPECT_EQ(outcome.load(), static_cast<int>(QueuePush::kClosed));
+}
+
+// MPMC stress: every pushed value is popped exactly once across concurrent
+// producers and consumers, with blocking push providing the backpressure.
+TEST(BoundedQueue, ConcurrentProducersConsumersLoseNothing) {
+  constexpr int kProducers = 3;
+  constexpr int kConsumers = 3;
+  constexpr int kPerProducer = 200;
+  BoundedQueue<int> q{4};
+  std::mutex seen_mu;
+  std::multiset<int> seen;
+  std::vector<std::thread> threads;
+  for (int c = 0; c < kConsumers; ++c) {
+    threads.emplace_back([&] {
+      for (;;) {
+        std::optional<int> v = q.pop();
+        if (!v.has_value()) return;
+        const std::lock_guard<std::mutex> lock{seen_mu};
+        seen.insert(*v);
+      }
+    });
+  }
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        int v = p * kPerProducer + i;
+        ASSERT_EQ(q.push(v), QueuePush::kOk);
+      }
+    });
+  }
+  for (auto& t : producers) t.join();
+  q.close();
+  for (auto& t : threads) t.join();
+  ASSERT_EQ(seen.size(), static_cast<std::size_t>(kProducers * kPerProducer));
+  for (int i = 0; i < kProducers * kPerProducer; ++i) {
+    EXPECT_EQ(seen.count(i), 1U) << "value " << i;
+  }
 }
 
 }  // namespace

@@ -1,0 +1,190 @@
+#!/usr/bin/env python3
+"""Tolerance-band perf-regression gate over BENCH_*.json artifacts.
+
+Compares the bench JSON files a CI run just produced against the committed
+baselines under bench/baselines/. Every baseline row is matched to a current
+row by its configuration key — (bench, backend) plus whatever sweep
+dimensions the table carries (batch, clients, max_batch, replicas, queue_cap,
+admission, simulator, ...) — and each throughput/latency metric is checked
+against a relative tolerance band:
+
+  * throughput (samples/s, reqs/s) regresses when it drops more than
+    --tolerance (default 15%) below baseline;
+  * tail latency (p95 ms, us/sample) regresses when it rises more than
+    --latency-tolerance (default 60%: quantiles on shared CI runners are far
+    noisier than throughput) above baseline.
+
+A baseline row or file with no current counterpart is a failure too — a bench
+that silently stops running is a lost regression signal, not a pass. Exits
+nonzero on any regression; the markdown report goes to stdout and, when
+--summary is given, is appended there ($GITHUB_STEP_SUMMARY in CI).
+
+Refreshing baselines after an intentional perf change:
+
+  tools/bench_compare.py --baseline bench/baselines --current . --write-baseline
+
+which copies the current BENCH_*.json set over the committed one (review the
+diff like any other code change).
+"""
+
+import argparse
+import json
+import os
+import shutil
+import sys
+from glob import glob
+
+# Metric columns and their good direction: +1 = higher is better (throughput),
+# -1 = lower is better (latency). Columns not listed here and not in
+# DIMENSIONS (derived ratios, percentiles we do not gate on) are ignored.
+METRICS = {
+    "samples/s": +1,
+    "reqs/s": +1,
+    "p95 ms": -1,
+    "us/sample": -1,
+}
+
+# Configuration columns that identify a row across runs. Everything else that
+# is not a METRIC (speedup strings, mean batch, p50, refused counts) is
+# informational and takes no part in matching or gating.
+DIMENSIONS = (
+    "backend",
+    "simulator",
+    "batch",
+    "max_batch",
+    "clients",
+    "replicas",
+    "queue_cap",
+    "admission",
+    "workload",
+    "case",
+)
+
+
+def load(path):
+    with open(path) as f:
+        return json.load(f)
+
+
+def row_key(row):
+    return tuple((d, str(row[d])) for d in DIMENSIONS if d in row)
+
+
+def fmt_key(bench, key):
+    dims = " ".join(f"{d}={v}" for d, v in key)
+    return f"{bench} [{dims}]" if dims else bench
+
+
+def to_float(value):
+    try:
+        return float(value)
+    except (TypeError, ValueError):
+        return None
+
+
+def compare_file(bench, base, cur, tolerance, latency_tolerance):
+    """Yields (status, detail_row) per gated metric; status in {ok, regressed}."""
+    current_rows = {}
+    for row in cur.get("rows", []):
+        current_rows.setdefault(row_key(row), row)
+    for brow in base.get("rows", []):
+        key = row_key(brow)
+        crow = current_rows.get(key)
+        if crow is None:
+            yield "regressed", (fmt_key(bench, key), "(row)", "-", "missing", "-", "MISSING ROW")
+            continue
+        for metric, direction in METRICS.items():
+            bval = to_float(brow.get(metric))
+            cval = to_float(crow.get(metric))
+            if bval is None or bval == 0.0:
+                continue  # metric absent in this table (or degenerate baseline)
+            if cval is None:
+                yield "regressed", (fmt_key(bench, key), metric, f"{bval:g}", "missing", "-",
+                                    "MISSING METRIC")
+                continue
+            delta = (cval - bval) / bval
+            tol = tolerance if direction > 0 else latency_tolerance
+            regressed = (direction > 0 and delta < -tol) or (direction < 0 and delta > tol)
+            band = f"±{tol:.0%}" if direction > 0 else f"+{tol:.0%}"
+            status = "REGRESSED" if regressed else "ok"
+            yield ("regressed" if regressed else "ok"), (
+                fmt_key(bench, key), metric, f"{bval:g}", f"{cval:g}", f"{delta:+.1%} ({band})",
+                status)
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--baseline", default="bench/baselines",
+                    help="directory holding the committed BENCH_*.json baselines")
+    ap.add_argument("--current", default=".",
+                    help="directory holding the freshly produced BENCH_*.json files")
+    ap.add_argument("--tolerance", type=float, default=0.15,
+                    help="relative throughput drop that fails the gate (default 0.15)")
+    ap.add_argument("--latency-tolerance", type=float, default=0.60,
+                    help="relative tail-latency rise that fails the gate (default 0.60)")
+    ap.add_argument("--summary", default=os.environ.get("GITHUB_STEP_SUMMARY"),
+                    help="file to append the markdown report to (defaults to "
+                         "$GITHUB_STEP_SUMMARY when set)")
+    ap.add_argument("--write-baseline", action="store_true",
+                    help="instead of comparing, copy current BENCH_*.json over the baselines")
+    args = ap.parse_args()
+
+    baseline_files = sorted(glob(os.path.join(args.baseline, "BENCH_*.json")))
+
+    if args.write_baseline:
+        os.makedirs(args.baseline, exist_ok=True)
+        current_files = sorted(glob(os.path.join(args.current, "BENCH_*.json")))
+        if not current_files:
+            print(f"no BENCH_*.json under {args.current} to adopt", file=sys.stderr)
+            return 1
+        for path in current_files:
+            dest = os.path.join(args.baseline, os.path.basename(path))
+            shutil.copyfile(path, dest)
+            print(f"baseline <- {path}")
+        return 0
+
+    if not baseline_files:
+        print(f"no baselines under {args.baseline}; commit them with --write-baseline",
+              file=sys.stderr)
+        return 1
+
+    details = []
+    regressions = 0
+    checks = 0
+    for bpath in baseline_files:
+        name = os.path.basename(bpath)
+        bench = name[len("BENCH_"):-len(".json")]
+        cpath = os.path.join(args.current, name)
+        if not os.path.exists(cpath):
+            details.append((bench, "(file)", "-", "missing", "-", "MISSING FILE"))
+            regressions += 1
+            continue
+        for status, row in compare_file(bench, load(bpath), load(cpath),
+                                        args.tolerance, args.latency_tolerance):
+            checks += 1
+            details.append(row)
+            if status == "regressed":
+                regressions += 1
+
+    verdict = ("❌ perf gate: "
+               f"{regressions} regression(s) across {checks} checks") if regressions else (
+               f"✅ perf gate: {checks} checks within tolerance")
+    lines = [
+        "## Perf regression gate",
+        "",
+        verdict,
+        "",
+        "| bench / config | metric | baseline | current | delta (band) | status |",
+        "|---|---|---|---|---|---|",
+    ]
+    lines += [f"| {' | '.join(row)} |" for row in details]
+    report = "\n".join(lines) + "\n"
+    print(report)
+    if args.summary:
+        with open(args.summary, "a") as f:
+            f.write(report)
+    return 1 if regressions else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
