@@ -5,7 +5,7 @@
 //                                 [--replicas 2]
 //                                 [--backend event|gemm|reference]
 //
-// Four things in ~120 lines:
+// Five things in ~180 lines:
 //   1. concurrent clients submit single images and get futures back;
 //   2. the dynamic micro-batcher forms batches (size or deadline), a router
 //      hands them to --replicas replica sessions over the injected
@@ -13,9 +13,14 @@
 //      to sequential inference on that backend whichever replica served them;
 //   3. cancellation and graceful drain, with the server's own stats line;
 //   4. overload: a bounded submit queue whose admission policy (reject vs
-//      shed-oldest) decides who pays when a burst outruns the replicas.
+//      shed-oldest) decides who pays when a burst outruns the replicas;
+//   5. multi-model serving: several models behind one snn::ModelRegistry,
+//      per-model micro-batches, and a live hot-swap of one model's weights
+//      under concurrent load — in-flight requests drain on the old weights,
+//      new submissions pick up the new ones, nothing fails.
 #include <chrono>
 #include <iostream>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -23,6 +28,7 @@
 #include "serve/server.h"
 #include "snn/engine.h"
 #include "snn/network.h"
+#include "snn/registry.h"
 #include "util/cli.h"
 #include "util/rng.h"
 
@@ -34,6 +40,18 @@ Tensor random_tensor(std::vector<std::int64_t> shape, Rng& rng, float lo, float 
   Tensor t{std::move(shape)};
   for (std::int64_t i = 0; i < t.numel(); ++i) t[i] = rng.uniform_f(lo, hi);
   return t;
+}
+
+// The demo's conv/pool/fc stack on 3x8x8 inputs; each call draws fresh
+// weights, so two calls give two genuinely different models.
+std::shared_ptr<snn::SnnNetwork> make_net(Rng& rng) {
+  auto net = std::make_shared<snn::SnnNetwork>(snn::Base2Kernel{24, 4.0, 1.0});
+  net->add_conv(random_tensor({8, 3, 3, 3}, rng, -0.15F, 0.25F),
+                random_tensor({8}, rng, -0.05F, 0.1F), 1, 1);
+  net->add_pool(2, 2);
+  net->add_fc(random_tensor({10, 8 * 4 * 4}, rng, -0.1F, 0.12F),
+              random_tensor({10}, rng, -0.05F, 0.05F));
+  return net;
 }
 
 }  // namespace
@@ -49,12 +67,8 @@ int main(int argc, char** argv) {
   // A small random-weight TTFS net on 3x8x8 inputs — the serving layer works
   // the same for a CAT-trained, converted network (see quickstart.cpp).
   Rng rng{42};
-  snn::SnnNetwork net{snn::Base2Kernel{24, 4.0, 1.0}};
-  net.add_conv(random_tensor({8, 3, 3, 3}, rng, -0.15F, 0.25F),
-               random_tensor({8}, rng, -0.05F, 0.1F), 1, 1);
-  net.add_pool(2, 2);
-  net.add_fc(random_tensor({10, 8 * 4 * 4}, rng, -0.1F, 0.12F),
-             random_tensor({10}, rng, -0.05F, 0.05F));
+  const std::shared_ptr<snn::SnnNetwork> net_ptr = make_net(rng);
+  snn::SnnNetwork& net = *net_ptr;
 
   serve::ServeOptions opts;
   opts.max_batch = max_batch;
@@ -133,6 +147,54 @@ int main(int argc, char** argv) {
     std::cout << "overload (" << serve::to_string(policy) << ", capacity 4): " << ok
               << " served, " << refused << " refused -> " << bursty.stats().describe()
               << "\n";
+  }
+
+  // Multi-model serving with a live hot-swap under load: two models behind
+  // one ModelRegistry-fronted server. Clients name a model per request,
+  // batches never mix models, and mid-traffic we swap "alpha"'s weights —
+  // requests already in flight drain on the OLD weights (their handle lease
+  // keeps net + weight pack alive), later submissions run the NEW ones, and
+  // every future resolves kOk.
+  const std::shared_ptr<const snn::InferenceBackend> backend = opts.backend;
+  auto registry = std::make_shared<snn::ModelRegistry>();
+  registry->load("alpha", make_net(rng), backend, {3, 8, 8});
+  registry->load("beta", make_net(rng), backend, {3, 8, 8});
+  serve::ServeOptions multi = opts;
+  multi.backend = nullptr;  // each registered model carries its own backend
+  multi.registry = registry;
+  serve::SnnServer zoo{multi};
+  std::cout << "multi-model server up: models alpha+beta, replicas=" << zoo.replicas() << "\n";
+
+  std::vector<std::thread> mixed;
+  for (std::int64_t c = 0; c < 2; ++c) {
+    mixed.emplace_back([&, c] {
+      Rng image_rng{200 + static_cast<std::uint64_t>(c)};
+      for (int i = 0; i < 12; ++i) {
+        const std::string model = (i % 2 == 0) ? "alpha" : "beta";
+        auto sub = zoo.submit(model, random_tensor({3, 8, 8}, image_rng, 0.0F, 1.0F));
+        serve::ServeResult r = sub.result.get();
+        const std::lock_guard<std::mutex> lock{print_mu};
+        std::cout << "  [" << r.model_id << "] request " << sub.id << ": class "
+                  << r.predicted << " (" << (r.status == serve::RequestStatus::kOk
+                                                 ? "ok" : "refused") << ")\n";
+      }
+    });
+  }
+  // Hot-swap while the clients are mid-stream: the id flips to fresh weights
+  // atomically; nothing running is disturbed.
+  registry->load("alpha", make_net(rng), backend, {3, 8, 8});
+  {
+    const std::lock_guard<std::mutex> lock{print_mu};
+    std::cout << "  >> swapped model 'alpha' under load (version now "
+              << registry->acquire("alpha")->version() << ")\n";
+  }
+  for (auto& t : mixed) t.join();
+  zoo.stop();
+  std::cout << "registry: " << registry->stats().describe() << "\n";
+  for (const serve::ModelStats& m : zoo.stats().models) {
+    std::cout << "  model " << m.id << ": " << m.completed << " served in " << m.batches
+              << " batches (mean " << m.mean_batch_size << "), p95 " << m.latency_p95_ms
+              << " ms\n";
   }
   return 0;
 }

@@ -41,38 +41,60 @@ PushOutcome MicroBatcher::push(PendingRequest& req, std::optional<PendingRequest
           break;
         case AdmissionPolicy::kRejectWhenFull:
           return PushOutcome::kRejectedFull;
-        case AdmissionPolicy::kShedOldest:
-          // Drop-head: the oldest request makes room and is handed back for
-          // the caller to resolve as shed. The out-param is mandatory here —
-          // dropping the evicted promise on the floor would break its future
-          // with future_error instead of a clean kShed result.
+        case AdmissionPolicy::kShedOldest: {
+          // Drop-head across lanes: the globally oldest request makes room
+          // and is handed back for the caller to resolve as shed. The
+          // out-param is mandatory here — dropping the evicted promise on
+          // the floor would break its future with future_error instead of a
+          // clean kShed result.
           TTFS_CHECK_MSG(shed != nullptr,
                          "kShedOldest push needs the shed out-parameter to hand back "
                          "the evicted request");
-          shed->emplace(std::move(queue_.front()));
-          queue_.pop_front();
+          auto lane = oldest_front_locked([](const Lane&) { return true; });
+          TTFS_DCHECK(lane != lanes_.end());  // full queue => nonempty lane
+          shed->emplace(std::move(lane->second.front()));
+          lane->second.pop_front();
+          --total_;
+          if (lane->second.empty()) lanes_.erase(lane);
           break;
+        }
       }
     }
     if (closed_) return PushOutcome::kClosed;
-    queue_.push_back(std::move(req));
+    lanes_[req.model_id].push_back(std::move(req));
+    ++total_;
   }
   // Waking the consumer on every push keeps the logic simple; it re-checks
   // the size/deadline policy and goes back to (deadline-bounded) sleep when
-  // the batch isn't ready yet.
+  // no batch is ready yet.
   cv_.notify_one();
   return PushOutcome::kQueued;
 }
 
-std::vector<PendingRequest> MicroBatcher::take_locked() {
+template <typename Pred>
+MicroBatcher::LaneMap::iterator MicroBatcher::oldest_front_locked(Pred pred) {
+  auto best = lanes_.end();
+  for (auto it = lanes_.begin(); it != lanes_.end(); ++it) {
+    if (!pred(it->second)) continue;
+    if (best == lanes_.end() || it->second.front().enqueued < best->second.front().enqueued) {
+      best = it;
+    }
+  }
+  return best;
+}
+
+std::vector<PendingRequest> MicroBatcher::take_locked(LaneMap::iterator lane) {
+  Lane& queue = lane->second;
   const std::size_t take =
-      std::min(queue_.size(), static_cast<std::size_t>(opts_.max_batch));
+      std::min(queue.size(), static_cast<std::size_t>(opts_.max_batch));
   std::vector<PendingRequest> batch;
   batch.reserve(take);
   for (std::size_t i = 0; i < take; ++i) {
-    batch.push_back(std::move(queue_.front()));
-    queue_.pop_front();
+    batch.push_back(std::move(queue.front()));
+    queue.pop_front();
   }
+  total_ -= take;
+  if (queue.empty()) lanes_.erase(lane);
   if (take > 0) space_cv_.notify_all();  // kBlock pushers may proceed
   return batch;
 }
@@ -80,24 +102,38 @@ std::vector<PendingRequest> MicroBatcher::take_locked() {
 std::vector<PendingRequest> MicroBatcher::pop_batch() {
   std::unique_lock<std::mutex> lock{mu_};
   for (;;) {
-    if (closed_) return take_locked();  // drain mode: empty vector ends it
-    if (queue_.size() >= static_cast<std::size_t>(opts_.max_batch)) return take_locked();
-    if (queue_.empty()) {
+    if (closed_) {
+      // Drain mode: keep flushing per-model batches, oldest front first;
+      // the empty vector once every lane is dry is the shutdown signal.
+      auto lane = oldest_front_locked([](const Lane&) { return true; });
+      if (lane == lanes_.end()) return {};
+      return take_locked(lane);
+    }
+    // Size trigger: any lane at max_batch flushes now; among several, the
+    // longest-waiting front pops first.
+    auto ready = oldest_front_locked([this](const Lane& lane) {
+      return lane.size() >= static_cast<std::size_t>(opts_.max_batch);
+    });
+    if (ready != lanes_.end()) return take_locked(ready);
+    if (lanes_.empty()) {
       cv_.wait(lock);
       continue;
     }
-    // Pending but below max_batch: sleep until the oldest request's deadline.
-    // A push can beat the deadline (size trigger) and close() flushes
+    // Deadline trigger: flush the lane whose oldest request has exhausted
+    // max_delay, if any; otherwise sleep until the earliest lane deadline. A
+    // push can beat the deadline (size trigger) and close() flushes
     // immediately; both re-enter the loop via no_timeout. On timeout the
-    // deadline is re-checked against the *current* front — a cancel (or a
-    // concurrent consumer's pop) may have replaced it with a younger request
-    // whose max_delay has not elapsed yet, in which case the loop re-arms on
-    // the new deadline instead of flushing early.
-    const auto deadline = queue_.front().enqueued + opts_.max_delay;
-    if (cv_.wait_until(lock, deadline) == std::cv_status::timeout && !queue_.empty() &&
-        std::chrono::steady_clock::now() >= queue_.front().enqueued + opts_.max_delay) {
-      return take_locked();
-    }
+    // deadlines are re-checked against the *current* fronts — a cancel (or
+    // a concurrent consumer's pop) may have replaced a front with a younger
+    // request whose max_delay has not elapsed yet, in which case the loop
+    // re-arms on the new earliest deadline instead of flushing early.
+    const auto now = std::chrono::steady_clock::now();
+    auto expired = oldest_front_locked([this, now](const Lane& lane) {
+      return now >= lane.front().enqueued + opts_.max_delay;
+    });
+    if (expired != lanes_.end()) return take_locked(expired);
+    const auto earliest = oldest_front_locked([](const Lane&) { return true; });
+    cv_.wait_until(lock, earliest->second.front().enqueued + opts_.max_delay);
   }
 }
 
@@ -105,12 +141,16 @@ std::optional<PendingRequest> MicroBatcher::cancel(std::uint64_t id) {
   std::optional<PendingRequest> removed;
   {
     const std::lock_guard<std::mutex> lock{mu_};
-    for (auto it = queue_.begin(); it != queue_.end(); ++it) {
-      if (it->id == id) {
-        removed.emplace(std::move(*it));
-        queue_.erase(it);
-        break;
-      }
+    for (auto lane = lanes_.begin(); lane != lanes_.end(); ++lane) {
+      Lane& queue = lane->second;
+      const auto it = std::find_if(queue.begin(), queue.end(),
+                                   [id](const PendingRequest& r) { return r.id == id; });
+      if (it == queue.end()) continue;
+      removed.emplace(std::move(*it));
+      queue.erase(it);
+      --total_;
+      if (queue.empty()) lanes_.erase(lane);
+      break;
     }
   }
   if (removed.has_value()) space_cv_.notify_all();  // freed a slot
@@ -128,7 +168,14 @@ void MicroBatcher::close() {
 
 std::size_t MicroBatcher::depth() const {
   const std::lock_guard<std::mutex> lock{mu_};
-  return queue_.size();
+  return total_;
+}
+
+std::map<std::string, std::size_t> MicroBatcher::depth_by_model() const {
+  const std::lock_guard<std::mutex> lock{mu_};
+  std::map<std::string, std::size_t> depths;
+  for (const auto& [model, lane] : lanes_) depths[model] = lane.size();
+  return depths;
 }
 
 bool MicroBatcher::closed() const {

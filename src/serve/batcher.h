@@ -1,24 +1,30 @@
 // Dynamic micro-batching queue: the request-forming half of SnnServer.
 //
 // Producers (any thread) push single-image requests; consumers (the server's
-// dispatcher thread) block in pop_batch() until a batch is ready. A batch
-// forms when either
-//   * size   — the queue reaches max_batch pending requests, or
-//   * delay  — the oldest pending request has waited max_delay,
-// whichever comes first; batches are always popped FIFO. close() starts the
-// drain: pushes are refused, but pop_batch() keeps handing out (size-capped)
-// batches until the queue is empty and only then returns an empty vector —
-// that empty batch is the consumer's shutdown signal.
+// dispatcher thread) block in pop_batch() until a batch is ready. Requests
+// are keyed by model id and NEVER co-batch across models — the queue is a
+// set of per-model FIFO lanes, and every popped batch is uniform in model.
+// A lane's batch forms when either
+//   * size   — the lane reaches max_batch pending requests, or
+//   * delay  — the lane's oldest pending request has waited max_delay,
+// whichever comes first; among simultaneously-ready lanes the one whose
+// front has waited longest pops first, so no model starves behind a chatty
+// one. close() starts the drain: pushes are refused, but pop_batch() keeps
+// handing out (size-capped, still per-model) batches until every lane is
+// empty and only then returns an empty vector — that empty batch is the
+// consumer's shutdown signal.
 //
-// Admission control: `capacity` bounds how many requests may sit in the
-// queue, and `admission` chooses what a push does against a full queue —
+// Admission control: `capacity` bounds how many requests may sit across ALL
+// lanes (models share one submit budget, exactly like they share the compute
+// pool), and `admission` chooses what a push does against a full queue —
 //   * kBlock          — push() blocks the submitter until space frees up
 //                       (a pop, a cancel, or close(), which unblocks with
 //                       kClosed);
 //   * kRejectWhenFull — push() returns kRejectedFull immediately, the
 //                       request untouched, for the caller to refuse;
-//   * kShedOldest     — the *oldest* queued request is evicted into `shed`
-//                       to make room, so fresh work replaces stale work
+//   * kShedOldest     — the *globally oldest* queued request (any lane) is
+//                       evicted into `shed` to make room, so fresh work
+//                       replaces stale work whichever model it belongs to
 //                       (drop-head; under overload the head has waited
 //                       longest and is the most likely to be past its
 //                       deadline anyway).
@@ -35,6 +41,8 @@
 #include <cstdint>
 #include <deque>
 #include <future>
+#include <map>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <string>
@@ -43,11 +51,23 @@
 #include "serve/result.h"
 #include "tensor/tensor.h"
 
+namespace ttfs::snn {
+class ModelHandle;
+}
+
 namespace ttfs::serve {
 
 // One queued request, alive from submit() until its promise resolves.
 struct PendingRequest {
   std::uint64_t id = 0;
+  // Which registry model this request targets. Requests with equal model_id
+  // (including the default empty id of direct batcher users) share a lane;
+  // different ids never share a batch.
+  std::string model_id;
+  // Lease on the resolved model, taken at submit() time: a request pinned to
+  // a handle keeps that network + pack alive until its promise resolves, so
+  // a live swap drains in-flight work on the OLD pack.
+  std::shared_ptr<const snn::ModelHandle> handle;
   Tensor image;  // (C, H, W)
   std::chrono::steady_clock::time_point enqueued;
   std::promise<ServeResult> promise;
@@ -67,9 +87,10 @@ AdmissionPolicy admission_policy_from_string(const std::string& name);
 enum class PushOutcome { kQueued, kRejectedFull, kClosed };
 
 struct BatcherOptions {
-  std::int64_t max_batch = 8;                 // flush-on-size threshold
-  std::chrono::microseconds max_delay{2000};  // flush-on-deadline bound
-  std::size_t capacity = 0;                   // submit-queue bound; 0 = unbounded
+  std::int64_t max_batch = 8;                 // flush-on-size threshold (per lane)
+  std::chrono::microseconds max_delay{2000};  // flush-on-deadline bound (per lane)
+  std::size_t capacity = 0;                   // submit-queue bound across all
+                                              // lanes; 0 = unbounded
   AdmissionPolicy admission = AdmissionPolicy::kBlock;
 };
 
@@ -80,16 +101,18 @@ class MicroBatcher {
   MicroBatcher(const MicroBatcher&) = delete;
   MicroBatcher& operator=(const MicroBatcher&) = delete;
 
-  // Enqueues a request per the admission policy. On kQueued the request was
-  // consumed (and `shed` may carry the evicted oldest request under
-  // kShedOldest); on kRejectedFull / kClosed `req` is left valid for the
-  // caller to resolve. `shed` is mandatory (checked) when the policy is
-  // kShedOldest and the queue is bounded — the evicted request's promise
-  // must reach the caller, never be destroyed unfulfilled.
+  // Enqueues a request into its model's lane per the admission policy. On
+  // kQueued the request was consumed (and `shed` may carry the evicted
+  // globally-oldest request under kShedOldest); on kRejectedFull / kClosed
+  // `req` is left valid for the caller to resolve. `shed` is mandatory
+  // (checked) when the policy is kShedOldest and the queue is bounded — the
+  // evicted request's promise must reach the caller, never be destroyed
+  // unfulfilled.
   PushOutcome push(PendingRequest& req, std::optional<PendingRequest>* shed = nullptr);
 
-  // Blocks until a batch is ready per the size/delay policy, then pops up to
-  // max_batch requests in FIFO order. Returns an empty vector only when the
+  // Blocks until some lane is ready per the size/delay policy, then pops up
+  // to max_batch requests of that ONE model in FIFO order (among ready lanes,
+  // the longest-waiting front wins). Returns an empty vector only when the
   // batcher is closed and fully drained. Safe for multiple concurrent
   // consumers (each batch goes to exactly one).
   std::vector<PendingRequest> pop_batch();
@@ -104,22 +127,32 @@ class MicroBatcher {
   // drained. Idempotent.
   void close();
 
+  // Pending requests across all lanes.
   std::size_t depth() const;
+  // Pending requests per model lane (empty lanes are pruned).
+  std::map<std::string, std::size_t> depth_by_model() const;
   bool closed() const;
   const BatcherOptions& options() const { return opts_; }
 
  private:
-  bool full_locked() const {
-    return opts_.capacity != 0 && queue_.size() >= opts_.capacity;
-  }
-  // Pops up to max_batch requests; caller holds mu_.
-  std::vector<PendingRequest> take_locked();
+  using Lane = std::deque<PendingRequest>;
+  using LaneMap = std::map<std::string, Lane>;
+
+  bool full_locked() const { return opts_.capacity != 0 && total_ >= opts_.capacity; }
+  // Lane whose front has waited longest (lanes are never empty in lanes_);
+  // lanes_.end() when no lane qualifies under `pred`.
+  template <typename Pred>
+  LaneMap::iterator oldest_front_locked(Pred pred);
+  // Pops up to max_batch requests from `lane` (erasing it when emptied);
+  // caller holds mu_.
+  std::vector<PendingRequest> take_locked(LaneMap::iterator lane);
 
   const BatcherOptions opts_;
   mutable std::mutex mu_;
   std::condition_variable cv_;        // consumers wait for batch-ready
   std::condition_variable space_cv_;  // kBlock pushers wait for space
-  std::deque<PendingRequest> queue_;
+  LaneMap lanes_;                     // model id -> FIFO lane; no empty lanes
+  std::size_t total_ = 0;             // requests across all lanes
   bool closed_ = false;
 };
 

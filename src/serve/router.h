@@ -2,10 +2,13 @@
 //
 // The server's dispatcher thread forms batches (MicroBatcher) and
 // dispatch()es them; R replica scheduler threads sit in acquire(r) waiting
-// for work. Assignment resolves at hand-off time: a batch goes to a replica
-// that is *free right now* — every free replica is equally least-loaded
-// (each runs at most one batch at a time and stages none), and a busy
-// replica is never assigned work it cannot start. When every replica is
+// for work. Batches are model-tagged (each is uniform in model id and
+// carries its requests' handle leases), but the router is model-blind:
+// assignment resolves at hand-off time, and a batch goes to a replica that
+// is *free right now* — every free replica is equally least-loaded (each
+// runs at most one batch at a time and stages none), serves every model
+// (rebinding its cached per-model session on arrival), and a busy replica
+// is never assigned work it cannot start. When every replica is
 // busy, batches queue FIFO in a bounded hand-off and the next replica to
 // free up takes the oldest one — the same result as per-replica queues with
 // perfect work stealing, without a stolen batch ever waiting behind a slow

@@ -9,34 +9,42 @@ namespace ttfs::serve {
 
 namespace {
 
-double seconds_since(std::chrono::steady_clock::time_point start) {
-  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
-}
-
-snn::SessionOptions session_options(const std::vector<std::int64_t>& input_shape,
-                                    const ServeOptions& opts) {
-  snn::SessionOptions sopts;
-  sopts.pool = opts.pool;
-  sopts.max_batch_hint = opts.max_batch;
-  sopts.input_shape = input_shape;
-  // R replica sessions fan out over one pool: each pre-reserves only its
-  // even worker share (see SessionOptions::concurrent_sessions).
-  sopts.concurrent_sessions = opts.replicas;
-  return sopts;
-}
-
-std::vector<snn::InferenceSession> make_sessions(const snn::SnnNetwork& net,
-                                                 const std::vector<std::int64_t>& input_shape,
-                                                 const ServeOptions& opts) {
+ServeOptions validated(ServeOptions opts) {
+  TTFS_CHECK_MSG(opts.registry != nullptr,
+                 "SnnServer needs a ModelRegistry (use the single-model constructor to get an "
+                 "internal one)");
   TTFS_CHECK_MSG(opts.replicas >= 1, "SnnServer needs at least one replica");
-  const std::shared_ptr<const snn::InferenceBackend> backend =
-      opts.backend != nullptr ? opts.backend : snn::make_backend(snn::BackendKind::kEventSim);
-  std::vector<snn::InferenceSession> sessions;
-  sessions.reserve(static_cast<std::size_t>(opts.replicas));
-  for (std::int64_t r = 0; r < opts.replicas; ++r) {
-    sessions.emplace_back(net, backend, session_options(input_shape, opts));
+  return opts;
+}
+
+// The single-model constructor funnels into the registry path: one internal
+// registry holding `net` (non-owning — the caller guarantees it outlives the
+// server) under the id "default".
+ServeOptions with_internal_registry(const snn::SnnNetwork& net,
+                                    std::vector<std::int64_t> input_shape, ServeOptions opts) {
+  TTFS_CHECK_MSG(opts.registry == nullptr,
+                 "the single-model constructor builds its own registry; use SnnServer{opts} to "
+                 "front an existing one");
+  opts.registry = std::make_shared<snn::ModelRegistry>();
+  opts.default_model = "default";
+  opts.registry->load(
+      "default", std::shared_ptr<const snn::SnnNetwork>{std::shared_ptr<const void>{}, &net},
+      opts.backend != nullptr ? opts.backend : snn::make_backend(snn::BackendKind::kEventSim),
+      std::move(input_shape));
+  return opts;
+}
+
+// Resolution order for the one-argument submit(): the named default when
+// given (and it must exist at construction), else the sole registered model,
+// else none.
+std::string resolve_default(const ServeOptions& opts) {
+  if (!opts.default_model.empty()) {
+    TTFS_CHECK_MSG(opts.registry->contains(opts.default_model),
+                   "default model '" << opts.default_model << "' is not registered");
+    return opts.default_model;
   }
-  return sessions;
+  if (opts.registry->size() == 1) return opts.registry->ids().front();
+  return {};
 }
 
 BatcherOptions batcher_options(const ServeOptions& opts) {
@@ -50,23 +58,26 @@ BatcherOptions batcher_options(const ServeOptions& opts) {
 
 }  // namespace
 
-SnnServer::SnnServer(const snn::SnnNetwork& net, std::vector<std::int64_t> input_shape,
-                     ServeOptions opts)
-    : input_shape_{std::move(input_shape)},
-      opts_{opts},
-      sessions_{make_sessions(net, input_shape_, opts_)},
+SnnServer::SnnServer(ServeOptions opts)
+    : opts_{validated(std::move(opts))},
+      registry_{opts_.registry},
+      default_model_{resolve_default(opts_)},
+      default_seed_{default_model_.empty() ? nullptr : registry_->acquire(default_model_)},
+      bindings_(static_cast<std::size_t>(opts_.replicas)),
       batcher_{batcher_options(opts_)},
       router_{static_cast<std::size_t>(opts_.replicas),
               static_cast<std::size_t>(opts_.replicas)},
       stats_{static_cast<std::size_t>(opts_.replicas)} {
-  TTFS_CHECK_MSG(input_shape_.size() == 3, "input_shape must be (C, H, W)");
-  for (const std::int64_t d : input_shape_) TTFS_CHECK(d > 0);
-  schedulers_.reserve(sessions_.size());
-  for (std::size_t r = 0; r < sessions_.size(); ++r) {
+  schedulers_.reserve(static_cast<std::size_t>(opts_.replicas));
+  for (std::size_t r = 0; r < static_cast<std::size_t>(opts_.replicas); ++r) {
     schedulers_.emplace_back([this, r] { replica_loop(r); });
   }
   dispatcher_ = std::thread{[this] { dispatcher_loop(); }};
 }
+
+SnnServer::SnnServer(const snn::SnnNetwork& net, std::vector<std::int64_t> input_shape,
+                     ServeOptions opts)
+    : SnnServer{with_internal_registry(net, std::move(input_shape), std::move(opts))} {}
 
 SnnServer::~SnnServer() { stop(); }
 
@@ -83,12 +94,27 @@ void SnnServer::stop() {
   });
 }
 
+const std::vector<std::int64_t>& SnnServer::input_shape() const {
+  TTFS_CHECK_MSG(default_seed_ != nullptr, "server has no default model");
+  return default_seed_->input_shape();
+}
+
+const snn::InferenceBackend& SnnServer::backend() const {
+  TTFS_CHECK_MSG(default_seed_ != nullptr, "server has no default model");
+  return default_seed_->backend();
+}
+
 SnnServer::Submission SnnServer::submit(Tensor image) {
-  TTFS_CHECK_MSG(image.rank() == 3 && image.dim(0) == input_shape_[0] &&
-                     image.dim(1) == input_shape_[1] && image.dim(2) == input_shape_[2],
-                 "request shape " << image.shape_str() << " does not match server input");
+  TTFS_CHECK_MSG(!default_model_.empty(),
+                 "submit(image) needs a default model — name one in "
+                 "ServeOptions::default_model or use submit(model_id, image)");
+  return submit(default_model_, std::move(image));
+}
+
+SnnServer::Submission SnnServer::submit(const std::string& model_id, Tensor image) {
   PendingRequest req;
   req.id = next_id_.fetch_add(1, std::memory_order_relaxed);
+  req.model_id = model_id;
   req.image = std::move(image);
   req.enqueued = std::chrono::steady_clock::now();
 
@@ -98,7 +124,23 @@ SnnServer::Submission SnnServer::submit(Tensor image) {
   // Counted before the push: once the request is queued the schedulers can
   // complete it, and a concurrent stats() snapshot must never see
   // completed > submitted.
-  stats_.on_submit();
+  stats_.on_submit(model_id);
+
+  // Resolve the model NOW: the lease pins net + pack lifetime (not residency)
+  // to this request, so a swap after this point still drains it on the
+  // handle it was admitted under.
+  req.handle = registry_->try_acquire(model_id);
+  if (req.handle == nullptr) {
+    stats_.on_reject();
+    resolve_refused(std::move(req), RequestStatus::kRejected);
+    return sub;
+  }
+  const std::vector<std::int64_t>& want = req.handle->input_shape();
+  TTFS_CHECK_MSG(req.image.rank() == 3 && req.image.dim(0) == want[0] &&
+                     req.image.dim(1) == want[1] && req.image.dim(2) == want[2],
+                 "request shape " << req.image.shape_str() << " does not match model '"
+                                  << model_id << "' input");
+
   std::optional<PendingRequest> shed;
   switch (batcher_.push(req, &shed)) {
     case PushOutcome::kQueued:
@@ -106,7 +148,7 @@ SnnServer::Submission SnnServer::submit(Tensor image) {
       // slot: resolve the evicted oldest request right here, never silently
       // drop it.
       if (shed.has_value()) {
-        stats_.on_shed();
+        stats_.on_shed(shed->model_id);
         resolve_refused(std::move(*shed), RequestStatus::kShed);
       }
       break;
@@ -126,6 +168,7 @@ SnnServer::Submission SnnServer::submit(Tensor image) {
 void SnnServer::resolve_refused(PendingRequest req, RequestStatus status) {
   ServeResult r;
   r.status = status;
+  r.model_id = std::move(req.model_id);
   r.latency_seconds = seconds_since(req.enqueued);
   req.promise.set_value(std::move(r));
 }
@@ -136,6 +179,7 @@ bool SnnServer::cancel(std::uint64_t id) {
   stats_.on_cancel();
   ServeResult r;
   r.status = RequestStatus::kCancelled;
+  r.model_id = removed->model_id;
   r.latency_seconds = seconds_since(removed->enqueued);
   removed->promise.set_value(std::move(r));
   return true;
@@ -144,7 +188,7 @@ bool SnnServer::cancel(std::uint64_t id) {
 ServerStats SnnServer::stats() const {
   std::vector<bool> busy(router_.replicas());
   for (std::size_t r = 0; r < busy.size(); ++r) busy[r] = router_.busy(r);
-  return stats_.snapshot(batcher_.depth(), busy);
+  return stats_.snapshot(batcher_.depth(), busy, batcher_.depth_by_model());
 }
 
 void SnnServer::dispatcher_loop() {
@@ -169,44 +213,82 @@ void SnnServer::replica_loop(std::size_t r) {
 }
 
 void SnnServer::run_batch(std::size_t r, std::vector<PendingRequest> batch) {
-  stats_.on_batch(r);
-  const std::int64_t n = static_cast<std::int64_t>(batch.size());
+  stats_.on_batch(r, batch.front().model_id);
+  // A batch is uniform in model id, but around a live swap one lane can hold
+  // requests leased to the OLD handle followed by requests leased to the NEW
+  // one (FIFO => the handles form contiguous runs). Each run executes on the
+  // handle it was admitted under — that is the swap-drain contract.
+  std::size_t begin = 0;
+  while (begin < batch.size()) {
+    std::size_t end = begin + 1;
+    while (end < batch.size() && batch[end].handle == batch[begin].handle) ++end;
+    run_segment(r, batch, begin, end);
+    begin = end;
+  }
+}
+
+void SnnServer::run_segment(std::size_t r, std::vector<PendingRequest>& batch, std::size_t begin,
+                            std::size_t end) {
+  const std::shared_ptr<const snn::ModelHandle>& handle = batch[begin].handle;
   try {
+    // Warm + pin first: for the pin's lifetime the pack is resident and
+    // cannot be evicted, so the session construction and run below never
+    // build the pack behind the registry's accounting.
+    const snn::ModelRegistry::RunPin pin = registry_->pin_for_run(handle);
+
+    // Replica r's cached session for this model, rebuilt when the handle
+    // changed (swap) or on first use. Only thread r touches bindings_[r].
+    std::unordered_map<std::string, Bound>& slots = bindings_[r];
+    auto bound = slots.find(handle->id());
+    if (bound == slots.end() || bound->second.handle != handle) {
+      snn::SessionOptions sopts;
+      sopts.pool = opts_.pool;
+      sopts.max_batch_hint = opts_.max_batch;
+      sopts.input_shape = handle->input_shape();
+      // R replica sessions fan out over one pool: each pre-reserves only its
+      // even worker share (see SessionOptions::concurrent_sessions).
+      sopts.concurrent_sessions = opts_.replicas;
+      Bound fresh{handle,
+                  snn::InferenceSession{handle->net(), handle->backend_ptr(), sopts}};
+      bound = slots.insert_or_assign(handle->id(), std::move(fresh)).first;
+    }
+
     // One backend-agnostic path: the session views request images where they
     // sit (no (N, C, H, W) assembly copy on the scheduler thread) and
     // materializes exactly what a ServeResult carries — unmerged logit rows,
     // so each request takes its own row with no (N, classes) round trip.
     std::vector<const Tensor*> images;
-    images.reserve(batch.size());
-    for (const PendingRequest& req : batch) images.push_back(&req.image);
+    images.reserve(end - begin);
+    for (std::size_t i = begin; i < end; ++i) images.push_back(&batch[i].image);
     snn::RunOptions ropts;
     ropts.logits = false;
     ropts.logit_rows = true;
     ropts.predictions = true;
     ropts.stats = true;
-    snn::RunResult run = sessions_[r].run(snn::BatchView{images}, ropts);
+    snn::RunResult run = bound->second.session.run(snn::BatchView{images}, ropts);
 
-    // FIFO completion within the batch: futures resolve in submission order,
-    // latency stamped at resolution.
-    for (std::int64_t i = 0; i < n; ++i) {
-      const std::size_t idx = static_cast<std::size_t>(i);
+    // FIFO completion within the segment: futures resolve in submission
+    // order, latency stamped at resolution.
+    for (std::size_t i = begin; i < end; ++i) {
+      const std::size_t idx = i - begin;
       ServeResult res;
       res.status = RequestStatus::kOk;
+      res.model_id = batch[i].model_id;
       res.logits = std::move(run.logit_rows[idx]);
       res.predicted = run.predicted[idx];
       res.stats = std::move(run.stats[idx]);
-      const double latency = seconds_since(batch[idx].enqueued);
+      const double latency = seconds_since(batch[i].enqueued);
       res.latency_seconds = latency;
-      stats_.on_complete(r, latency);
-      batch[idx].promise.set_value(std::move(res));
+      stats_.on_complete(r, batch[i].model_id, latency);
+      batch[i].promise.set_value(std::move(res));
     }
   } catch (...) {
-    // A backend failure poisons the whole batch; waiters see the exception
+    // A backend failure poisons the whole segment; waiters see the exception
     // instead of hanging. (Shape mismatches are caught at submit(), so this
     // is defensive.)
-    for (PendingRequest& req : batch) {
+    for (std::size_t i = begin; i < end; ++i) {
       try {
-        req.promise.set_exception(std::current_exception());
+        batch[i].promise.set_exception(std::current_exception());
       } catch (const std::future_error&) {
         // already satisfied before the throw — nothing to do
       }

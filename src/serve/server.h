@@ -1,42 +1,49 @@
-// SnnServer — request-level serving front end over the SNN inference core.
+// SnnServer — request-level, multi-model serving front end over the SNN
+// inference core.
 //
 // The inference engine (snn/engine.h) is batch-oriented and blocking:
 // callers hand a session a batch and wait. A serving workload is the
 // opposite shape — latency-sensitive single-image requests arriving on many
-// threads (T2FSNN-style TTFS inference is per-request). SnnServer bridges
-// the two, sharded across R replicas of the compute path:
+// threads (T2FSNN-style TTFS inference is per-request), naming any of the
+// models a process hosts. SnnServer bridges the two, sharded across R
+// replicas of the compute path and fronted by a snn::ModelRegistry:
 //
-//   submit() (any thread)
+//   submit(model_id, image) (any thread)
+//     -> registry lookup: model_id -> ModelHandle lease (unknown ids resolve
+//        kRejected; the lease keeps net + pack alive until the promise
+//        resolves, so a live swap drains in-flight work on the OLD pack)
 //     -> bounded submit queue + admission policy (Block / RejectWhenFull /
 //        ShedOldest: predictable degradation when arrival outruns compute)
-//     -> MicroBatcher (flush on max_batch or max_delay) on the dispatcher
-//        thread
+//     -> MicroBatcher forms per-model batches (flush on max_batch or
+//        max_delay; models NEVER co-batch) on the dispatcher thread
 //     -> ReplicaRouter hands each formed batch to a free replica (FIFO
-//        backlog when all are busy)
-//     -> replica scheduler thread r: InferenceSession::run on replica r's
-//        own session — per-replica arenas, one shared stateless backend
+//        backlog when all are busy); any replica serves any model
+//     -> replica scheduler thread r: rebinds its cached per-model
+//        InferenceSession to the batch's handle if needed, pins the handle
+//        against pack eviction (ModelRegistry::pin_for_run), then
+//        InferenceSession::run — per-replica-per-model arenas, stateless
+//        shared backends
 //     -> futures resolve with logits, predicted class, SnnRunStats, latency
 //
-// The backend is injected through ServeOptions as a polymorphic
-// snn::InferenceBackend (event simulator by default; snn::make_backend or
-// any custom implementation). Backends are stateless const objects, so all
-// replicas share one instance — replication multiplies sessions (mutable
-// per-caller state), never weights or backend code.
+// Single-model callers keep the original surface: the (net, input_shape,
+// opts) constructor wraps the network in an internal one-model registry
+// under the id "default", and submit(image) targets the default model — no
+// behavior change from the pre-registry server.
 //
 // Determinism: per-sample results are bit-identical to running the same
-// backend sequentially on the same inputs, no matter how requests interleave
-// into batches or which replica runs each batch (sessions guarantee sample
-// independence; asserted for R in {1, 2, 4} under concurrency in
-// tests/serve_stress_test.cpp). With replicas > 1, *completion order across
-// batches* is no longer globally FIFO — batches run concurrently — but
-// completion within a batch still is.
+// model's backend sequentially on the same inputs, no matter how requests
+// interleave into batches, which replica runs each batch, or what other
+// models share the server (sessions guarantee sample independence; pack
+// eviction/rebuild is bit-identical; asserted in tests/serve_registry_test.cpp
+// against dedicated single-model servers for R in {1, 2, 4}).
 //
 // Lifecycle: stop() (or the destructor) closes the submit queue, *drains*
 // every pending request through normal batches across all replicas, then
-// joins the scheduler threads — no accepted request is ever dropped.
-// Submissions racing past stop() (including kBlock submitters parked on a
-// full queue) resolve with kRejected. cancel(id) removes a request only
-// while it is still queued; once its batch forms it completes normally.
+// joins the scheduler threads — no accepted request is ever dropped, and
+// requests holding a swapped-out handle still complete on it. Submissions
+// racing past stop() (including kBlock submitters parked on a full queue)
+// resolve with kRejected. cancel(id) removes a request only while it is
+// still queued; once its batch forms it completes normally.
 #pragma once
 
 #include <atomic>
@@ -45,7 +52,9 @@
 #include <future>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "serve/batcher.h"
@@ -54,6 +63,7 @@
 #include "serve/stats.h"
 #include "snn/engine.h"
 #include "snn/network.h"
+#include "snn/registry.h"
 
 namespace ttfs {
 class ThreadPool;
@@ -62,33 +72,49 @@ class ThreadPool;
 namespace ttfs::serve {
 
 struct ServeOptions {
-  std::int64_t max_batch = 8;                 // flush when this many queued
-  std::chrono::microseconds max_delay{2000};  // flush when the oldest waited this long
-  // Compute replicas: independent InferenceSessions (own arenas, own
-  // scheduler thread) over one shared backend and network. More replicas
-  // keep the compute pool busy when a single batch cannot fill it.
+  std::int64_t max_batch = 8;                 // flush when this many queued (per model)
+  std::chrono::microseconds max_delay{2000};  // flush when a model's oldest waited this long
+  // Compute replicas: independent scheduler threads, each with its own cache
+  // of per-model InferenceSessions (own arenas) over the registry's shared
+  // backends and networks. More replicas keep the compute pool busy when a
+  // single batch cannot fill it. Any replica serves any model.
   std::int64_t replicas = 1;
-  // Bound on queued (not yet batch-formed) requests; 0 = unbounded. Together
-  // with `admission` this is the overload valve: when request arrival
-  // outruns the replicas, the queue fills and the policy decides who pays —
-  // the submitter (kBlock), the newest request (kRejectWhenFull) or the
-  // oldest (kShedOldest).
+  // Bound on queued (not yet batch-formed) requests across ALL models;
+  // 0 = unbounded. Together with `admission` this is the overload valve:
+  // when request arrival outruns the replicas, the queue fills and the
+  // policy decides who pays — the submitter (kBlock), the newest request
+  // (kRejectWhenFull) or the globally oldest (kShedOldest).
   std::size_t queue_capacity = 0;
   AdmissionPolicy admission = AdmissionPolicy::kBlock;
-  // Inference realization formed batches run through; the event-sim backend
-  // when null. Backends are stateless and may be shared across servers.
+  // Single-model constructor only: the backend its internal registry loads
+  // "default" with (event-sim when null). Registry-fronted servers ignore
+  // this — each registered model carries its own backend.
   std::shared_ptr<const snn::InferenceBackend> backend;
   // Compute pool for batch fan-out: global_pool() when null; a 0-thread pool
   // runs batches inline on the replica scheduler threads.
   ThreadPool* pool = nullptr;
+  // Multi-model serving: the registry whose models this server fronts.
+  // Required by the registry constructor; models may be load()ed / swapped /
+  // unload()ed while the server runs. The server shares ownership.
+  std::shared_ptr<snn::ModelRegistry> registry;
+  // Model served by the one-argument submit(image). Resolved at
+  // construction: this id when non-empty (must be registered), else the
+  // registry's only model when it holds exactly one, else no default (the
+  // one-argument submit then throws).
+  std::string default_model;
 };
 
 class SnnServer {
  public:
-  // The network must outlive the server and must not be mutated while it is
-  // running (the replica sessions build the weight pack here, before any
-  // request can race on it). `input_shape` is the mandatory (C, H, W) of
-  // every request image — fixed up front so batches are uniform and each
+  // Multi-model server over opts.registry (required non-null). Models
+  // registered later are served as soon as load() returns; swapped models
+  // take effect per-request at submit time.
+  explicit SnnServer(ServeOptions opts);
+
+  // Single-model convenience: wraps `net` in an internal one-model registry
+  // under the id "default". The network must outlive the server and must not
+  // be mutated while it is running. `input_shape` is the mandatory (C, H, W)
+  // of every request image — fixed up front so batches are uniform and each
   // replica's arenas are pre-reserved once.
   SnnServer(const snn::SnnNetwork& net, std::vector<std::int64_t> input_shape,
             ServeOptions opts = {});
@@ -102,9 +128,14 @@ class SnnServer {
     std::future<ServeResult> result;
   };
 
-  // Enqueues one (C, H, W) image from any thread. Throws std::invalid_argument
-  // on a shape mismatch. Never blocks on inference; under kBlock it MAY block
-  // on a full submit queue until space frees (that is the policy's point).
+  // Enqueues one image for `model_id` from any thread. An unknown model id
+  // resolves the future with kRejected (models can be unloaded at any time,
+  // so this is a data error, not a programming error). Throws
+  // std::invalid_argument when the image does not match the model's input
+  // shape. Never blocks on inference; under kBlock it MAY block on a full
+  // submit queue until space frees (that is the policy's point).
+  Submission submit(const std::string& model_id, Tensor image);
+  // Same, for the default model; throws when the server has none.
   Submission submit(Tensor image);
 
   // True iff the request was still queued: its future resolves kCancelled.
@@ -118,23 +149,46 @@ class SnnServer {
 
   ServerStats stats() const;
   const ServeOptions& options() const { return opts_; }
-  const std::vector<std::int64_t>& input_shape() const { return input_shape_; }
-  const snn::InferenceBackend& backend() const { return sessions_.front().backend(); }
-  std::int64_t replicas() const { return static_cast<std::int64_t>(sessions_.size()); }
+  snn::ModelRegistry& registry() const { return *registry_; }
+  // Registered model ids, most recently used first.
+  std::vector<std::string> models() const { return registry_->ids(); }
+  // Empty when the server has no default model.
+  const std::string& default_model() const { return default_model_; }
+  // Input shape / backend of the default model as resolved at construction
+  // (the single-model server's original accessors). Throw when no default.
+  const std::vector<std::int64_t>& input_shape() const;
+  const snn::InferenceBackend& backend() const;
+  std::int64_t replicas() const { return opts_.replicas; }
 
  private:
+  // One replica's cached binding for one model: the handle lease its session
+  // was built over. Rebuilt when the registry serves a different handle for
+  // the id (i.e. after a swap).
+  struct Bound {
+    std::shared_ptr<const snn::ModelHandle> handle;
+    snn::InferenceSession session;
+  };
+
   void dispatcher_loop();
   void replica_loop(std::size_t r);
   void run_batch(std::size_t r, std::vector<PendingRequest> batch);
+  // Runs batch[begin, end) — a maximal run of requests sharing one handle —
+  // on replica r's session for that handle, resolving their promises.
+  void run_segment(std::size_t r, std::vector<PendingRequest>& batch, std::size_t begin,
+                   std::size_t end);
   void resolve_refused(PendingRequest req, RequestStatus status);
 
-  const std::vector<std::int64_t> input_shape_;
   const ServeOptions opts_;
-  // One session per replica: each owns its packed-weight binding reference
-  // and per-chunk arenas, pre-reserved for max_batch fan-out over its even
-  // share of the pool and reused for the server's whole life. sessions_[r]
-  // is touched only by replica thread r.
-  std::vector<snn::InferenceSession> sessions_;
+  const std::shared_ptr<snn::ModelRegistry> registry_;
+  const std::string default_model_;
+  // Lease on the default model taken at construction — keeps input_shape()/
+  // backend() valid even across later swaps/unloads of the default id.
+  const std::shared_ptr<const snn::ModelHandle> default_seed_;
+  // bindings_[r] is touched only by replica thread r: model id -> cached
+  // session. Sessions pin nothing while idle — eviction of a cached model's
+  // pack is fine; the next run re-warms through pin_for_run and the session's
+  // arenas stay valid (the pack rebuild is bit-identical).
+  std::vector<std::unordered_map<std::string, Bound>> bindings_;
   MicroBatcher batcher_;
   ReplicaRouter router_;
   StatsCollector stats_;

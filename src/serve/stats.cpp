@@ -1,5 +1,6 @@
 #include "serve/stats.h"
 
+#include <algorithm>
 #include <sstream>
 
 #include "util/check.h"
@@ -12,7 +13,8 @@ std::string ServerStats::describe() const {
   os << "served " << completed << "/" << submitted << " (" << cancelled << " cancelled, "
      << rejected << " rejected, " << rejected_overload << " overload-rejected, " << shed
      << " shed) in " << batches_formed << " batches (mean " << mean_batch_size << ") on "
-     << replicas.size() << " replica" << (replicas.size() == 1 ? "" : "s") << ", p50 "
+     << replicas.size() << " replica" << (replicas.size() == 1 ? "" : "s") << " x "
+     << models.size() << " model" << (models.size() == 1 ? "" : "s") << ", p50 "
      << latency_p50_ms << "ms p95 " << latency_p95_ms << "ms";
   return os.str();
 }
@@ -21,9 +23,10 @@ StatsCollector::StatsCollector(std::size_t replicas) : replicas_(replicas) {
   TTFS_CHECK(replicas >= 1);
 }
 
-void StatsCollector::on_submit() {
+void StatsCollector::on_submit(const std::string& model) {
   const std::lock_guard<std::mutex> lock{mu_};
   ++submitted_;
+  ++models_[model].submitted;
 }
 
 void StatsCollector::on_cancel() {
@@ -41,28 +44,34 @@ void StatsCollector::on_reject_overload() {
   ++rejected_overload_;
 }
 
-void StatsCollector::on_shed() {
+void StatsCollector::on_shed(const std::string& model) {
   const std::lock_guard<std::mutex> lock{mu_};
   ++shed_;
+  ++models_[model].shed;
 }
 
-void StatsCollector::on_batch(std::size_t replica) {
+void StatsCollector::on_batch(std::size_t replica, const std::string& model) {
   const std::lock_guard<std::mutex> lock{mu_};
   ++batches_;
   ++replicas_.at(replica).batches;
+  ++models_[model].batches;
 }
 
-void StatsCollector::on_complete(std::size_t replica, double latency_seconds) {
+void StatsCollector::on_complete(std::size_t replica, const std::string& model,
+                                 double latency_seconds) {
   const std::lock_guard<std::mutex> lock{mu_};
   ++completed_;
   latency_.record(latency_seconds);
   ReplicaSlot& slot = replicas_.at(replica);
   ++slot.completed;
   slot.latency.record(latency_seconds);
+  ModelSlot& model_slot = models_[model];
+  ++model_slot.completed;
+  model_slot.latency.record(latency_seconds);
 }
 
-ServerStats StatsCollector::snapshot(std::size_t queue_depth,
-                                     const std::vector<bool>& busy) const {
+ServerStats StatsCollector::snapshot(std::size_t queue_depth, const std::vector<bool>& busy,
+                                     const std::map<std::string, std::size_t>& model_depths) const {
   const std::lock_guard<std::mutex> lock{mu_};
   ServerStats s;
   s.submitted = submitted_;
@@ -91,6 +100,34 @@ ServerStats StatsCollector::snapshot(std::size_t queue_depth,
     out.latency_p95_ms = slot.latency.quantile(0.95) * 1e3;
     out.busy = r < busy.size() && busy[r];
   }
+  // models_ is std::map, so the per-model breakdown comes out sorted by id.
+  // A lane with queued-but-untouched traffic still shows up via model_depths.
+  s.models.reserve(models_.size() + model_depths.size());
+  for (const auto& [id, slot] : models_) {
+    ModelStats out;
+    out.id = id;
+    out.submitted = slot.submitted;
+    out.completed = slot.completed;
+    out.shed = slot.shed;
+    out.batches = slot.batches;
+    out.mean_batch_size = slot.batches == 0 ? 0.0
+                                            : static_cast<double>(slot.completed) /
+                                                  static_cast<double>(slot.batches);
+    const auto depth = model_depths.find(id);
+    out.queue_depth = depth == model_depths.end() ? 0 : depth->second;
+    out.latency_p50_ms = slot.latency.quantile(0.50) * 1e3;
+    out.latency_p95_ms = slot.latency.quantile(0.95) * 1e3;
+    s.models.push_back(std::move(out));
+  }
+  for (const auto& [id, depth] : model_depths) {
+    if (models_.count(id) != 0) continue;
+    ModelStats out;
+    out.id = id;
+    out.queue_depth = depth;
+    s.models.push_back(std::move(out));
+  }
+  std::sort(s.models.begin(), s.models.end(),
+            [](const ModelStats& a, const ModelStats& b) { return a.id < b.id; });
   return s;
 }
 

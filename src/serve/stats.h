@@ -5,11 +5,13 @@
 // schedulers); ServerStats is the consistent point-in-time snapshot handed
 // to callers. Latencies go through util/latency_histogram.h, so p50/p95 are
 // O(1) memory no matter how many requests have been served — one histogram
-// server-wide plus one per replica, so a slow or starved replica is visible
-// on its own.
+// server-wide, one per replica (a slow or starved replica is visible on its
+// own), and one per model (a model whose traffic is being crowded out, or
+// whose batches run long, is visible on its own too).
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <mutex>
 #include <string>
 #include <vector>
@@ -30,48 +32,74 @@ struct ReplicaStats {
   bool busy = false;             // running a batch at snapshot time
 };
 
+// One model's share of the traffic: how much was submitted/served/shed under
+// its id, how its (never cross-model) batches formed, and its own latency
+// distribution.
+struct ModelStats {
+  std::string id;
+  std::uint64_t submitted = 0;   // submit() calls naming this model
+  std::uint64_t completed = 0;   // requests served under this model
+  std::uint64_t shed = 0;        // this model's requests evicted (kShedOldest)
+  std::uint64_t batches = 0;     // batches formed from this model's lane
+  double mean_batch_size = 0.0;  // completed / batches
+  std::size_t queue_depth = 0;   // pending in this model's lane at snapshot
+  double latency_p50_ms = 0.0;   // submit -> completion, this model only
+  double latency_p95_ms = 0.0;
+};
+
 struct ServerStats {
   std::uint64_t submitted = 0;          // all submit() calls (refused included)
   std::uint64_t completed = 0;          // served with logits
   std::uint64_t cancelled = 0;          // removed before batch formation
-  std::uint64_t rejected = 0;           // refused: shutdown already began
+  std::uint64_t rejected = 0;           // refused: shutdown began or unknown model
   std::uint64_t rejected_overload = 0;  // refused: queue full (kRejectWhenFull)
   std::uint64_t shed = 0;               // evicted oldest-first (kShedOldest)
   std::uint64_t batches_formed = 0;     // pop_batch() flushes that ran
-  std::size_t queue_depth = 0;          // pending at snapshot time
+  std::size_t queue_depth = 0;          // pending at snapshot time (all models)
   double mean_batch_size = 0.0;         // completed / batches_formed
   double latency_mean_ms = 0.0;         // submit -> completion, served requests
   double latency_p50_ms = 0.0;
   double latency_p95_ms = 0.0;
   std::vector<ReplicaStats> replicas;   // one entry per serving replica
+  std::vector<ModelStats> models;       // one entry per model that saw traffic,
+                                        // sorted by id
 
   // One line for logs/demos, e.g.
   // "served 96/96 (0 cancelled, 0 rejected, 0 overload-rejected, 0 shed) in
-  //  12 batches (mean 8.0) on 2 replicas, p50 1.93ms p95 3.1ms".
+  //  12 batches (mean 8.0) on 2 replicas x 3 models, p50 1.93ms p95 3.1ms".
   std::string describe() const;
 };
 
 class StatsCollector {
  public:
-  // `replicas` sizes the per-replica slots (>= 1).
+  // `replicas` sizes the per-replica slots (>= 1). Model slots appear as
+  // traffic names them.
   explicit StatsCollector(std::size_t replicas = 1);
 
-  void on_submit();
+  void on_submit(const std::string& model);
   void on_cancel();
   void on_reject();
   void on_reject_overload();
-  void on_shed();
-  void on_batch(std::size_t replica);
-  void on_complete(std::size_t replica, double latency_seconds);
+  void on_shed(const std::string& model);
+  void on_batch(std::size_t replica, const std::string& model);
+  void on_complete(std::size_t replica, const std::string& model, double latency_seconds);
 
-  // `queue_depth` comes from the batcher and `busy` flags from the router
-  // (they own the respective locks/flags).
-  ServerStats snapshot(std::size_t queue_depth, const std::vector<bool>& busy) const;
+  // `queue_depth` comes from the batcher (total and per model lane) and
+  // `busy` flags from the router (they own the respective locks/flags).
+  ServerStats snapshot(std::size_t queue_depth, const std::vector<bool>& busy,
+                       const std::map<std::string, std::size_t>& model_depths) const;
 
  private:
   struct ReplicaSlot {
     std::uint64_t batches = 0;
     std::uint64_t completed = 0;
+    LatencyHistogram latency;
+  };
+  struct ModelSlot {
+    std::uint64_t submitted = 0;
+    std::uint64_t completed = 0;
+    std::uint64_t shed = 0;
+    std::uint64_t batches = 0;
     LatencyHistogram latency;
   };
 
@@ -85,6 +113,7 @@ class StatsCollector {
   std::uint64_t batches_ = 0;
   LatencyHistogram latency_;
   std::vector<ReplicaSlot> replicas_;
+  std::map<std::string, ModelSlot> models_;
 };
 
 }  // namespace ttfs::serve

@@ -5,6 +5,7 @@
 #include <utility>
 #include <variant>
 
+#include "serve/result.h"
 #include "snn/event_sim_reference.h"
 #include "tensor/ops.h"
 #include "util/check.h"
@@ -252,7 +253,7 @@ RunResult InferenceSession::run(const BatchView& batch, const RunOptions& opts) 
     out.predicted.resize(static_cast<std::size_t>(n));
     for (std::int64_t i = 0; i < n; ++i) {
       const Tensor& row = rows[static_cast<std::size_t>(i)];
-      out.predicted[static_cast<std::size_t>(i)] = row.numel() == 0 ? -1 : argmax_row(row, 0);
+      out.predicted[static_cast<std::size_t>(i)] = serve::predicted_class(row);
     }
   }
   if (opts.logits) {

@@ -95,6 +95,27 @@ const std::vector<PackedLayer>& SnnNetwork::packed_layers() const {
   return packed_;
 }
 
+std::size_t SnnNetwork::packed_bytes() const {
+  const std::lock_guard<std::mutex> lock{pack_mu_};
+  if (packed_dirty_.load(std::memory_order_relaxed)) return 0;
+  std::size_t bytes = 0;
+  for (const PackedLayer& layer : packed_) {
+    if (const auto* conv = std::get_if<PackedConv>(&layer)) {
+      bytes += conv->w.capacity() * sizeof(float);
+    } else if (const auto* fc = std::get_if<PackedFc>(&layer)) {
+      bytes += fc->w.capacity() * sizeof(float);
+    }
+  }
+  return bytes;
+}
+
+void SnnNetwork::release_packed() const {
+  const std::lock_guard<std::mutex> lock{pack_mu_};
+  packed_.clear();
+  packed_.shrink_to_fit();
+  packed_dirty_.store(true, std::memory_order_release);
+}
+
 std::size_t SnnNetwork::weighted_layer_count() const {
   std::size_t n = 0;
   for (const auto& l : layers_) {

@@ -195,6 +195,14 @@ class SnnNetwork {
   // network across threads as long as nobody mutates layers meanwhile.
   void ensure_packed() const;
   const std::vector<PackedLayer>& packed_layers() const;
+  // Resident bytes of the event-path pack (0 while unbuilt/released). Taken
+  // under pack_mu_, so it is safe against a concurrent rebuild.
+  std::size_t packed_bytes() const;
+  // Releases the pack's storage and marks it dirty; the next ensure_packed()
+  // rebuilds it bit-identically from layers_. This is the model registry's
+  // cold-eviction primitive: the CALLER must guarantee no thread is reading
+  // packed_layers() concurrently (the registry's run-pin protocol does).
+  void release_packed() const;
   const ThresholdLut& threshold_lut() const { return lut_; }
 
   // Encodes raw values into a SpikeMap (the input generator's job).

@@ -1,0 +1,445 @@
+// Multi-model serving tests: snn::ModelRegistry semantics (load / swap /
+// unload, LRU weight-pack eviction under a byte budget, run pins) and the
+// registry-fronted SnnServer — per-model routing golden-checked against
+// dedicated single-model servers, and live swap under concurrent load.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <future>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "serve/server.h"
+#include "snn/engine.h"
+#include "snn/network.h"
+#include "snn/registry.h"
+#include "util/rng.h"
+
+namespace ttfs::serve {
+namespace {
+
+Tensor random_tensor(std::vector<std::int64_t> shape, Rng& rng, float lo, float hi) {
+  Tensor t{std::move(shape)};
+  for (std::int64_t i = 0; i < t.numel(); ++i) t[i] = rng.uniform_f(lo, hi);
+  return t;
+}
+
+// Three deliberately different-shaped conv/pool/fc stacks, cheap enough for
+// TSan. Each returns a shared network the registry can co-own.
+std::shared_ptr<snn::SnnNetwork> make_net_a(Rng& rng) {  // 3x8x8 in
+  auto net = std::make_shared<snn::SnnNetwork>(snn::Base2Kernel{24, 4.0, 1.0});
+  net->add_conv(random_tensor({8, 3, 3, 3}, rng, -0.15F, 0.25F),
+                random_tensor({8}, rng, -0.05F, 0.1F), 1, 1);
+  net->add_pool(2, 2);
+  net->add_fc(random_tensor({10, 8 * 4 * 4}, rng, -0.1F, 0.12F),
+              random_tensor({10}, rng, -0.05F, 0.05F));
+  return net;
+}
+
+std::shared_ptr<snn::SnnNetwork> make_net_b(Rng& rng) {  // 1x12x12 in
+  auto net = std::make_shared<snn::SnnNetwork>(snn::Base2Kernel{24, 4.0, 1.0});
+  net->add_conv(random_tensor({4, 1, 3, 3}, rng, -0.2F, 0.3F),
+                random_tensor({4}, rng, -0.05F, 0.1F), 1, 1);
+  net->add_pool(2, 2);
+  net->add_fc(random_tensor({10, 4 * 6 * 6}, rng, -0.1F, 0.12F),
+              random_tensor({10}, rng, -0.05F, 0.05F));
+  return net;
+}
+
+std::shared_ptr<snn::SnnNetwork> make_net_c(Rng& rng) {  // 2x6x6 in
+  auto net = std::make_shared<snn::SnnNetwork>(snn::Base2Kernel{24, 4.0, 1.0});
+  net->add_conv(random_tensor({6, 2, 3, 3}, rng, -0.18F, 0.28F),
+                random_tensor({6}, rng, -0.05F, 0.1F), 1, 1);
+  net->add_pool(2, 2);
+  net->add_fc(random_tensor({10, 6 * 3 * 3}, rng, -0.12F, 0.14F),
+              random_tensor({10}, rng, -0.05F, 0.05F));
+  return net;
+}
+
+std::vector<Tensor> make_images(Rng& rng, std::vector<std::int64_t> shape, std::int64_t n) {
+  std::vector<Tensor> images;
+  images.reserve(static_cast<std::size_t>(n));
+  for (std::int64_t i = 0; i < n; ++i) images.push_back(random_tensor(shape, rng, 0.0F, 1.0F));
+  return images;
+}
+
+// Per-sample logit rows of `net` on `images` through a dedicated session —
+// the sequential golden everything else must match bit-for-bit.
+std::vector<Tensor> golden_rows(const snn::SnnNetwork& net,
+                                const std::shared_ptr<const snn::InferenceBackend>& backend,
+                                const std::vector<Tensor>& images) {
+  snn::InferenceSession session{net, backend};
+  std::vector<const Tensor*> ptrs;
+  ptrs.reserve(images.size());
+  for (const Tensor& img : images) ptrs.push_back(&img);
+  snn::RunOptions ropts;
+  ropts.logits = false;
+  ropts.logit_rows = true;
+  snn::RunResult run = session.run(snn::BatchView{ptrs}, ropts);
+  return std::move(run.logit_rows);
+}
+
+void expect_rows_equal(const Tensor& got, const Tensor& want, const std::string& what) {
+  ASSERT_EQ(got.numel(), want.numel()) << what;
+  for (std::int64_t j = 0; j < want.numel(); ++j) {
+    EXPECT_EQ(got[j], want[j]) << what << " logit " << j;
+  }
+}
+
+bool rows_bitwise_equal(const Tensor& got, const Tensor& want) {
+  if (got.numel() != want.numel()) return false;
+  for (std::int64_t j = 0; j < want.numel(); ++j) {
+    if (got[j] != want[j]) return false;
+  }
+  return true;
+}
+
+// --- ModelRegistry ---
+
+TEST(ModelRegistry, UnknownIdThrowsAndTryAcquireReturnsNull) {
+  snn::ModelRegistry registry;
+  EXPECT_THROW((void)registry.acquire("nope"), std::out_of_range);
+  EXPECT_EQ(registry.try_acquire("nope"), nullptr);
+  EXPECT_FALSE(registry.contains("nope"));
+  EXPECT_FALSE(registry.unload("nope"));
+}
+
+TEST(ModelRegistry, LoadSwapUnloadLifecycle) {
+  Rng rng{7};
+  snn::ModelRegistry registry;
+  const auto backend = snn::make_backend(snn::BackendKind::kEventSim);
+  const auto h_a = registry.load("a", make_net_a(rng), backend, {3, 8, 8});
+  const auto h_b = registry.load("b", make_net_b(rng), backend, {1, 12, 12});
+  EXPECT_TRUE(registry.contains("a"));
+  EXPECT_EQ(registry.size(), 2U);
+  // MRU order: the most recent load/acquire leads.
+  EXPECT_EQ(registry.ids(), (std::vector<std::string>{"b", "a"}));
+  EXPECT_EQ(registry.acquire("a"), h_a);
+  EXPECT_EQ(registry.ids(), (std::vector<std::string>{"a", "b"}));
+
+  // Swapping an id bumps the version and flips the mapping; the old handle
+  // stays valid for its holders.
+  const auto h_a2 = registry.load("a", make_net_a(rng), backend, {3, 8, 8});
+  EXPECT_NE(h_a2, h_a);
+  EXPECT_GT(h_a2->version(), h_a->version());
+  EXPECT_EQ(registry.acquire("a"), h_a2);
+  EXPECT_EQ(h_a->id(), "a");  // stale but intact
+
+  const snn::RegistryStats stats = registry.stats();
+  EXPECT_EQ(stats.loads, 2U);
+  EXPECT_EQ(stats.swaps, 1U);
+  EXPECT_EQ(stats.models, 2U);
+
+  EXPECT_TRUE(registry.unload("b"));
+  EXPECT_FALSE(registry.contains("b"));
+  EXPECT_EQ(registry.stats().unloads, 1U);
+  EXPECT_EQ(registry.size(), 1U);
+  EXPECT_FALSE(stats.describe().empty());
+}
+
+TEST(ModelRegistry, LruEvictionKeepsWarmBytesUnderBudget) {
+  Rng rng{11};
+  const auto backend = snn::make_backend(snn::BackendKind::kEventSim);
+  const auto net1 = make_net_a(rng);
+  const auto net2 = make_net_a(rng);
+  const auto net3 = make_net_a(rng);
+
+  // Measure per-model pack size with an unbudgeted registry first.
+  std::size_t pack_size = 0;
+  {
+    snn::ModelRegistry probe;
+    pack_size = probe.load("probe", net1, backend, {3, 8, 8})->pack_bytes();
+    ASSERT_GT(pack_size, 0U);
+  }
+
+  // Budget fits two packs but not three.
+  snn::RegistryOptions opts;
+  opts.max_pack_bytes = 3 * pack_size - 1;
+  snn::ModelRegistry registry{opts};
+  const auto h1 = registry.load("m1", net1, backend, {3, 8, 8});
+  const auto h2 = registry.load("m2", net2, backend, {3, 8, 8});
+  const auto h3 = registry.load("m3", net3, backend, {3, 8, 8});
+
+  snn::RegistryStats stats = registry.stats();
+  EXPECT_GE(stats.evictions, 1U);
+  EXPECT_LE(stats.warm_bytes, opts.max_pack_bytes);
+  // m1 was least recently used when m3 warmed, so it paid.
+  EXPECT_FALSE(h1->warm());
+  EXPECT_TRUE(h3->warm());
+
+  // Pinning the cold model re-warms it (a miss) and evicts another victim to
+  // stay under budget; the pin holder's pack is protected.
+  {
+    const auto pin = registry.pin_for_run(h1);
+    EXPECT_TRUE(h1->warm());
+    stats = registry.stats();
+    EXPECT_GE(stats.misses, 1U);
+    EXPECT_GE(stats.evictions, 2U);
+    EXPECT_LE(stats.warm_bytes, opts.max_pack_bytes);
+  }
+
+  // A warm pinned run is a hit and evicts nothing further.
+  {
+    const auto pin = registry.pin_for_run(h1);
+    EXPECT_GE(registry.stats().hits, 1U);
+  }
+}
+
+TEST(ModelRegistry, StaleHandleRewarmsOffBudget) {
+  Rng rng{13};
+  const auto backend = snn::make_backend(snn::BackendKind::kEventSim);
+  snn::RegistryOptions opts;
+  opts.warm_on_load = false;
+  snn::ModelRegistry registry{opts};
+
+  const auto h_old = registry.load("m", make_net_a(rng), backend, {3, 8, 8});
+  EXPECT_FALSE(h_old->warm());  // lazy: first pin pays the build
+  const auto h_new = registry.load("m", make_net_a(rng), backend, {3, 8, 8});
+  ASSERT_NE(h_old, h_new);
+
+  // The stale handle still pins and runs: its pack is rebuilt off-budget and
+  // dies with the handle, so a queued request admitted pre-swap drains.
+  const std::size_t warm_bytes_before = registry.stats().warm_bytes;
+  {
+    const auto pin = registry.pin_for_run(h_old);
+    EXPECT_TRUE(h_old->warm());
+    EXPECT_EQ(registry.stats().warm_bytes, warm_bytes_before);
+    EXPECT_GE(registry.stats().misses, 1U);
+  }
+}
+
+TEST(ModelRegistry, PackFreeBackendIsAlwaysWarmAtZeroBytes) {
+  Rng rng{17};
+  snn::RegistryOptions opts;
+  opts.max_pack_bytes = 1;  // evict-happy budget
+  snn::ModelRegistry registry{opts};
+  const auto handle =
+      registry.load("gemm", make_net_a(rng), snn::make_backend(snn::BackendKind::kGemm), {3, 8, 8});
+  EXPECT_TRUE(handle->warm());
+  EXPECT_EQ(handle->pack_bytes(), 0U);
+  const auto pin = registry.pin_for_run(handle);
+  EXPECT_TRUE(handle->warm());
+  EXPECT_EQ(registry.stats().warm_bytes, 0U);
+  EXPECT_EQ(registry.stats().evictions, 0U);
+}
+
+// --- Registry-fronted SnnServer ---
+
+// One server hosting three differently-shaped models must return
+// bit-identical logits per model to three dedicated single-model servers,
+// whatever the replica count.
+TEST(ServeRegistry, MultiModelMatchesDedicatedServers) {
+  Rng rng{23};
+  const auto event = snn::make_backend(snn::BackendKind::kEventSim);
+  const auto gemm = snn::make_backend(snn::BackendKind::kGemm);
+  const auto net_a = make_net_a(rng);
+  const auto net_b = make_net_b(rng);
+  const auto net_c = make_net_c(rng);
+  const std::int64_t kPerModel = 12;
+  const auto images_a = make_images(rng, {3, 8, 8}, kPerModel);
+  const auto images_b = make_images(rng, {1, 12, 12}, kPerModel);
+  const auto images_c = make_images(rng, {2, 6, 6}, kPerModel);
+
+  // Goldens through dedicated single-model servers (the pre-registry path).
+  auto dedicated_rows = [](const snn::SnnNetwork& net, std::vector<std::int64_t> shape,
+                           std::shared_ptr<const snn::InferenceBackend> backend,
+                           const std::vector<Tensor>& images) {
+    ServeOptions opts;
+    opts.max_batch = 4;
+    opts.backend = std::move(backend);
+    SnnServer server{net, std::move(shape), opts};
+    std::vector<std::future<ServeResult>> futures;
+    for (const Tensor& img : images) futures.push_back(server.submit(img).result);
+    std::vector<Tensor> rows;
+    for (auto& f : futures) {
+      ServeResult r = f.get();
+      EXPECT_EQ(r.status, RequestStatus::kOk);
+      rows.push_back(std::move(r.logits));
+    }
+    return rows;
+  };
+  const auto golden_a = dedicated_rows(*net_a, {3, 8, 8}, event, images_a);
+  const auto golden_b = dedicated_rows(*net_b, {1, 12, 12}, event, images_b);
+  const auto golden_c = dedicated_rows(*net_c, {2, 6, 6}, gemm, images_c);
+
+  for (const std::int64_t replicas : {1, 2, 4}) {
+    auto registry = std::make_shared<snn::ModelRegistry>();
+    registry->load("a", net_a, event, {3, 8, 8});
+    registry->load("b", net_b, event, {1, 12, 12});
+    registry->load("c", net_c, gemm, {2, 6, 6});
+    ServeOptions opts;
+    opts.max_batch = 4;
+    opts.replicas = replicas;
+    opts.registry = registry;
+    SnnServer server{opts};
+    EXPECT_EQ(server.models().size(), 3U);
+
+    // Interleave the three models round-robin so their requests contend for
+    // the same queue and replicas but must never co-batch.
+    std::vector<std::future<ServeResult>> fa, fb, fc;
+    for (std::int64_t i = 0; i < kPerModel; ++i) {
+      fa.push_back(server.submit("a", images_a[static_cast<std::size_t>(i)]).result);
+      fb.push_back(server.submit("b", images_b[static_cast<std::size_t>(i)]).result);
+      fc.push_back(server.submit("c", images_c[static_cast<std::size_t>(i)]).result);
+    }
+    auto check = [&](std::vector<std::future<ServeResult>>& futures,
+                     const std::vector<Tensor>& golden, const std::string& model) {
+      for (std::size_t i = 0; i < futures.size(); ++i) {
+        ServeResult r = futures[i].get();
+        ASSERT_EQ(r.status, RequestStatus::kOk) << model << " request " << i;
+        EXPECT_EQ(r.model_id, model);
+        expect_rows_equal(r.logits, golden[i],
+                          "R=" + std::to_string(replicas) + " model " + model + " sample " +
+                              std::to_string(i));
+        EXPECT_EQ(r.predicted, predicted_class(golden[i]));
+      }
+    };
+    check(fa, golden_a, "a");
+    check(fb, golden_b, "b");
+    check(fc, golden_c, "c");
+
+    server.stop();
+    const ServerStats stats = server.stats();
+    EXPECT_EQ(stats.completed, static_cast<std::uint64_t>(3 * kPerModel));
+    ASSERT_EQ(stats.models.size(), 3U);
+    std::uint64_t model_batches = 0;
+    for (const ModelStats& m : stats.models) {
+      EXPECT_EQ(m.completed, static_cast<std::uint64_t>(kPerModel)) << m.id;
+      model_batches += m.batches;
+    }
+    // Batches never mix models, so per-model batch counts tile the total.
+    EXPECT_EQ(model_batches, stats.batches_formed);
+    EXPECT_GE(registry->stats().hits, 1U);
+  }
+}
+
+// A live swap under concurrent load: every submitted request resolves OK (no
+// failed futures), each result bit-matches the old or the new network's
+// golden for its image, and in-flight requests admitted before the swap
+// drain on the old pack.
+TEST(ServeRegistry, LiveSwapUnderLoadDrainsCleanly) {
+  Rng rng{29};
+  const auto event = snn::make_backend(snn::BackendKind::kEventSim);
+  const auto net_old = make_net_a(rng);
+  const auto net_new = make_net_a(rng);
+  const std::int64_t kDistinct = 6;
+  const auto images = make_images(rng, {3, 8, 8}, kDistinct);
+  const auto golden_old = golden_rows(*net_old, event, images);
+  const auto golden_new = golden_rows(*net_new, event, images);
+
+  auto registry = std::make_shared<snn::ModelRegistry>();
+  registry->load("m", net_old, event, {3, 8, 8});
+  ServeOptions opts;
+  opts.max_batch = 4;
+  opts.replicas = 2;
+  opts.registry = registry;
+  SnnServer server{opts};
+
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 24;
+  std::vector<std::vector<std::pair<std::size_t, std::future<ServeResult>>>> futures(kThreads);
+  std::vector<std::thread> submitters;
+  submitters.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    submitters.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        const std::size_t idx = static_cast<std::size_t>((t + i) % kDistinct);
+        futures[static_cast<std::size_t>(t)].emplace_back(
+            idx, server.submit("m", images[idx]).result);
+        std::this_thread::yield();
+      }
+    });
+  }
+  // Swap mid-traffic: the mapping flips while batches are queued and running.
+  registry->load("m", net_new, event, {3, 8, 8});
+  for (std::thread& t : submitters) t.join();
+
+  std::size_t matched_old = 0, matched_new = 0;
+  for (auto& per_thread : futures) {
+    for (auto& [idx, future] : per_thread) {
+      ServeResult r = future.get();  // throws on a failed future — none allowed
+      ASSERT_EQ(r.status, RequestStatus::kOk);
+      if (rows_bitwise_equal(r.logits, golden_old[idx])) {
+        ++matched_old;
+      } else {
+        expect_rows_equal(r.logits, golden_new[idx], "sample " + std::to_string(idx));
+        ++matched_new;
+      }
+    }
+  }
+  EXPECT_EQ(matched_old + matched_new,
+            static_cast<std::size_t>(kThreads) * static_cast<std::size_t>(kPerThread));
+  // Everything submitted after the join must see the new network.
+  auto after = server.submit("m", images[0]).result.get();
+  ASSERT_EQ(after.status, RequestStatus::kOk);
+  expect_rows_equal(after.logits, golden_new[0], "post-swap sample");
+
+  server.stop();
+  EXPECT_EQ(registry->stats().swaps, 1U);
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(stats.completed, static_cast<std::uint64_t>(kThreads * kPerThread + 1));
+}
+
+TEST(ServeRegistry, UnknownModelResolvesRejected) {
+  Rng rng{31};
+  auto registry = std::make_shared<snn::ModelRegistry>();
+  registry->load("known", make_net_a(rng), snn::make_backend(snn::BackendKind::kGemm), {3, 8, 8});
+  ServeOptions opts;
+  opts.registry = registry;
+  SnnServer server{opts};
+  auto result = server.submit("mystery", random_tensor({3, 8, 8}, rng, 0.0F, 1.0F)).result.get();
+  EXPECT_EQ(result.status, RequestStatus::kRejected);
+  EXPECT_EQ(result.model_id, "mystery");
+  server.stop();
+  EXPECT_GE(server.stats().rejected, 1U);
+}
+
+TEST(ServeRegistry, DefaultModelConvenience) {
+  Rng rng{37};
+  const auto gemm = snn::make_backend(snn::BackendKind::kGemm);
+
+  // Sole model => implicit default; one-argument submit targets it.
+  auto registry = std::make_shared<snn::ModelRegistry>();
+  registry->load("only", make_net_a(rng), gemm, {3, 8, 8});
+  ServeOptions opts;
+  opts.registry = registry;
+  SnnServer server{opts};
+  EXPECT_EQ(server.default_model(), "only");
+  EXPECT_EQ(server.input_shape(), (std::vector<std::int64_t>{3, 8, 8}));
+  EXPECT_EQ(server.backend().name(), "gemm");
+  auto result = server.submit(random_tensor({3, 8, 8}, rng, 0.0F, 1.0F)).result.get();
+  EXPECT_EQ(result.status, RequestStatus::kOk);
+  EXPECT_EQ(result.model_id, "only");
+
+  // Two models, no named default => the one-argument submit throws; naming
+  // an unknown default at construction throws.
+  registry->load("second", make_net_b(rng), gemm, {1, 12, 12});
+  ServeOptions two;
+  two.registry = registry;
+  SnnServer ambiguous{two};
+  EXPECT_TRUE(ambiguous.default_model().empty());
+  EXPECT_THROW((void)ambiguous.submit(random_tensor({3, 8, 8}, rng, 0.0F, 1.0F)),
+               std::invalid_argument);
+  ServeOptions bad;
+  bad.registry = registry;
+  bad.default_model = "missing";
+  EXPECT_THROW(SnnServer{bad}, std::invalid_argument);
+}
+
+TEST(ServeRegistry, ShapeMismatchNamesTheModel) {
+  Rng rng{41};
+  auto registry = std::make_shared<snn::ModelRegistry>();
+  registry->load("a", make_net_a(rng), snn::make_backend(snn::BackendKind::kGemm), {3, 8, 8});
+  ServeOptions opts;
+  opts.registry = registry;
+  SnnServer server{opts};
+  EXPECT_THROW((void)server.submit("a", random_tensor({1, 12, 12}, rng, 0.0F, 1.0F)),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ttfs::serve

@@ -420,5 +420,89 @@ TEST(BoundedQueue, ConcurrentProducersConsumersLoseNothing) {
   }
 }
 
+// Every push variant refuses after close() and leaves the caller's value
+// untouched — a refused request must still be resolvable by its owner.
+TEST(BoundedQueue, PushAfterCloseRefusesEveryVariant) {
+  BoundedQueue<std::string> q{2};
+  q.close();
+  std::string a = "a", b = "b", c = "c";
+  std::optional<std::string> shed;
+  EXPECT_EQ(q.push(a), QueuePush::kClosed);
+  EXPECT_EQ(a, "a");
+  EXPECT_EQ(q.try_push(b), QueuePush::kClosed);
+  EXPECT_EQ(b, "b");
+  EXPECT_EQ(q.shed_push(c, shed), QueuePush::kClosed);
+  EXPECT_EQ(c, "c");
+  EXPECT_FALSE(shed.has_value());
+  EXPECT_EQ(q.size(), 0U);
+  q.close();  // idempotent
+  EXPECT_TRUE(q.closed());
+}
+
+// close() must wake EVERY popper parked on an empty queue, not just one —
+// each gets the nullopt shutdown signal.
+TEST(BoundedQueue, CloseWakesAllParkedPoppers) {
+  constexpr int kPoppers = 4;
+  BoundedQueue<int> q{4};
+  std::atomic<int> woke_empty{0};
+  std::vector<std::thread> poppers;
+  poppers.reserve(kPoppers);
+  for (int p = 0; p < kPoppers; ++p) {
+    poppers.emplace_back([&] {
+      if (!q.pop().has_value()) woke_empty.fetch_add(1);
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds{20});  // let them park
+  q.close();
+  for (auto& t : poppers) t.join();
+  EXPECT_EQ(woke_empty.load(), kPoppers);
+}
+
+// Racing close() against concurrent pushers of every variant: whatever the
+// interleaving, a value is either refused kClosed (caller keeps it) or
+// admitted kOk and then drained exactly once — nothing is lost or duplicated
+// across the shutdown edge.
+TEST(BoundedQueue, ConcurrentClosePushLosesNothing) {
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 100;
+  BoundedQueue<int> q;  // unbounded: only the close race can refuse
+  std::mutex accepted_mu;
+  std::multiset<int> accepted;
+  std::vector<std::thread> producers;
+  producers.reserve(kProducers);
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      std::optional<int> shed;
+      for (int i = 0; i < kPerProducer; ++i) {
+        int v = p * kPerProducer + i;
+        const int expected = v;
+        QueuePush outcome = QueuePush::kClosed;
+        switch (i % 3) {
+          case 0: outcome = q.push(v); break;
+          case 1: outcome = q.try_push(v); break;
+          default: outcome = q.shed_push(v, shed); break;
+        }
+        ASSERT_FALSE(shed.has_value());  // unbounded never sheds
+        if (outcome == QueuePush::kOk) {
+          const std::lock_guard<std::mutex> lock{accepted_mu};
+          accepted.insert(expected);
+        } else {
+          ASSERT_EQ(outcome, QueuePush::kClosed);
+          ASSERT_EQ(v, expected);  // refused values stay with the caller
+        }
+      }
+    });
+  }
+  std::thread closer{[&] {
+    std::this_thread::sleep_for(std::chrono::microseconds{200});
+    q.close();
+  }};
+  for (auto& t : producers) t.join();
+  closer.join();
+  std::multiset<int> drained;
+  while (auto v = q.pop()) drained.insert(*v);  // closed: drains then nullopt
+  EXPECT_EQ(drained, accepted);
+}
+
 }  // namespace
 }  // namespace ttfs

@@ -15,7 +15,9 @@ against a relative tolerance band:
     noisier than throughput) above baseline.
 
 A baseline row or file with no current counterpart is a failure too — a bench
-that silently stops running is a lost regression signal, not a pass. Exits
+that silently stops running is a lost regression signal, not a pass
+(--allow-missing downgrades exactly these to notes for runs that
+intentionally skip benches; metric regressions still fail). Exits
 nonzero on any regression; the markdown report goes to stdout and, when
 --summary is given, is appended there ($GITHUB_STEP_SUMMARY in CI).
 
@@ -56,6 +58,7 @@ DIMENSIONS = (
     "replicas",
     "queue_cap",
     "admission",
+    "models",
     "workload",
     "case",
 )
@@ -83,7 +86,8 @@ def to_float(value):
 
 
 def compare_file(bench, base, cur, tolerance, latency_tolerance):
-    """Yields (status, detail_row) per gated metric; status in {ok, regressed}."""
+    """Yields (status, detail_row) per gated metric; status in
+    {ok, regressed, missing}."""
     current_rows = {}
     for row in cur.get("rows", []):
         current_rows.setdefault(row_key(row), row)
@@ -91,7 +95,7 @@ def compare_file(bench, base, cur, tolerance, latency_tolerance):
         key = row_key(brow)
         crow = current_rows.get(key)
         if crow is None:
-            yield "regressed", (fmt_key(bench, key), "(row)", "-", "missing", "-", "MISSING ROW")
+            yield "missing", (fmt_key(bench, key), "(row)", "-", "missing", "-", "MISSING ROW")
             continue
         for metric, direction in METRICS.items():
             bval = to_float(brow.get(metric))
@@ -99,8 +103,8 @@ def compare_file(bench, base, cur, tolerance, latency_tolerance):
             if bval is None or bval == 0.0:
                 continue  # metric absent in this table (or degenerate baseline)
             if cval is None:
-                yield "regressed", (fmt_key(bench, key), metric, f"{bval:g}", "missing", "-",
-                                    "MISSING METRIC")
+                yield "missing", (fmt_key(bench, key), metric, f"{bval:g}", "missing", "-",
+                                  "MISSING METRIC")
                 continue
             delta = (cval - bval) / bval
             tol = tolerance if direction > 0 else latency_tolerance
@@ -125,6 +129,11 @@ def main():
     ap.add_argument("--summary", default=os.environ.get("GITHUB_STEP_SUMMARY"),
                     help="file to append the markdown report to (defaults to "
                          "$GITHUB_STEP_SUMMARY when set)")
+    ap.add_argument("--allow-missing", action="store_true",
+                    help="downgrade missing files/rows/metrics from failures to notes — an "
+                         "escape hatch for runs that intentionally skip benches (a sweep "
+                         "behind a flag, a partial rerun); genuine metric regressions still "
+                         "fail")
     ap.add_argument("--write-baseline", action="store_true",
                     help="instead of comparing, copy current BENCH_*.json over the baselines")
     args = ap.parse_args()
@@ -150,6 +159,7 @@ def main():
 
     details = []
     regressions = 0
+    missing = 0
     checks = 0
     for bpath in baseline_files:
         name = os.path.basename(bpath)
@@ -157,7 +167,7 @@ def main():
         cpath = os.path.join(args.current, name)
         if not os.path.exists(cpath):
             details.append((bench, "(file)", "-", "missing", "-", "MISSING FILE"))
-            regressions += 1
+            missing += 1
             continue
         for status, row in compare_file(bench, load(bpath), load(cpath),
                                         args.tolerance, args.latency_tolerance):
@@ -165,10 +175,17 @@ def main():
             details.append(row)
             if status == "regressed":
                 regressions += 1
+            elif status == "missing":
+                missing += 1
 
+    # A baseline with no current counterpart is a lost regression signal, not
+    # a pass — it fails the gate unless the caller explicitly opted out.
+    failures = regressions + (0 if args.allow_missing else missing)
+    allowed_note = (f" ({missing} missing, allowed)"
+                    if args.allow_missing and missing else "")
     verdict = ("❌ perf gate: "
-               f"{regressions} regression(s) across {checks} checks") if regressions else (
-               f"✅ perf gate: {checks} checks within tolerance")
+               f"{failures} failure(s) across {checks} checks") if failures else (
+               f"✅ perf gate: {checks} checks within tolerance{allowed_note}")
     lines = [
         "## Perf regression gate",
         "",
@@ -183,7 +200,7 @@ def main():
     if args.summary:
         with open(args.summary, "a") as f:
             f.write(report)
-    return 1 if regressions else 0
+    return 1 if failures else 0
 
 
 if __name__ == "__main__":
