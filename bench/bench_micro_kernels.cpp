@@ -1,131 +1,187 @@
-// Microbenchmarks (google-benchmark) for the compute kernels behind the
-// simulators: GEMM, conv lowering, TTFS fire/decode, the log-PE datapath,
-// the spike encoder and the minfind sorter.
-#include <benchmark/benchmark.h>
+// Micro-benchmarks of the event-kernel layer (snn/simd.h): the membrane
+// vector-add at several span lengths (dispatch path and pinned-scalar
+// reference), the packed-row bias broadcast, the blocked conv/fc integration
+// kernels on VGG-width geometry, and the fire-phase spike encoder.
+//
+//   ./build/bench/bench_micro_kernels [--reps R] [--ms M] [--json]
+//
+// Emits one BENCH_micro_kernels.json row per (case, n) on the shared Table
+// harness, gated in CI by tools/bench_compare.py against the committed
+// baseline (bench/baselines/BENCH_micro_kernels.json) — a kernel-level
+// regression fails perf-smoke before it shows up in end-to-end numbers. The
+// "isa" column records which path dispatch picked (informational, not a
+// matching dimension: baselines from AVX2 runners still match elsewhere).
+// Refresh after an intentional kernel change:
+//   tools/bench_compare.py --current <artifact dir> --write-baseline
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <iostream>
+#include <string>
+#include <vector>
 
-#include "cat/logpe.h"
-#include "hw/minfind.h"
-#include "nn/functional.h"
+#include "common.h"
 #include "snn/event_sim.h"
 #include "snn/kernel.h"
-#include "tensor/im2col.h"
-#include "tensor/sgemm.h"
+#include "snn/simd.h"
+#include "util/cli.h"
 #include "util/rng.h"
+#include "util/table.h"
 
 namespace {
 
 using namespace ttfs;
+namespace k = snn::kernels;
 
-void BM_Sgemm(benchmark::State& state) {
-  const auto n = state.range(0);
-  Rng rng{1};
-  std::vector<float> a(static_cast<std::size_t>(n * n)), b(static_cast<std::size_t>(n * n)),
-      c(static_cast<std::size_t>(n * n));
-  for (auto& v : a) v = rng.uniform_f(-1, 1);
-  for (auto& v : b) v = rng.uniform_f(-1, 1);
-  for (auto _ : state) {
-    sgemm(n, n, n, 1.0F, a.data(), b.data(), 0.0F, c.data());
-    benchmark::DoNotOptimize(c.data());
+// Runs `body` (which returns the op count of one pass) repeatedly for ~ms
+// per rep and reports the best rep's Mops/s.
+double measure(int reps, double ms, const std::function<std::int64_t()>& body) {
+  double best = 0.0;
+  for (int rep = 0; rep < reps; ++rep) {
+    const auto start = std::chrono::steady_clock::now();
+    std::int64_t ops = 0;
+    double elapsed = 0.0;
+    do {
+      ops += body();
+      elapsed = std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+    } while (elapsed * 1e3 < ms);
+    best = std::max(best, static_cast<double>(ops) / elapsed / 1e6);
   }
-  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+  return best;
 }
-BENCHMARK(BM_Sgemm)->Arg(64)->Arg(128)->Arg(256);
 
-void BM_Im2col(benchmark::State& state) {
-  ConvGeom g;
-  g.in_ch = 64;
-  g.in_h = g.in_w = 16;
-  g.kh = g.kw = 3;
-  g.pad = 1;
-  Rng rng{2};
-  Tensor img{{64, 16, 16}};
-  for (std::int64_t i = 0; i < img.numel(); ++i) img[i] = rng.uniform_f(-1, 1);
-  std::vector<float> cols(static_cast<std::size_t>(g.col_rows() * g.col_cols()));
-  for (auto _ : state) {
-    im2col(g, img.data(), cols.data());
-    benchmark::DoNotOptimize(cols.data());
-  }
-}
-BENCHMARK(BM_Im2col);
-
-void BM_Conv2dForward(benchmark::State& state) {
-  Rng rng{3};
-  Tensor x{{1, 32, 16, 16}};
-  Tensor w{{32, 32, 3, 3}};
-  for (std::int64_t i = 0; i < x.numel(); ++i) x[i] = rng.uniform_f(0, 1);
-  for (std::int64_t i = 0; i < w.numel(); ++i) w[i] = rng.uniform_f(-0.1F, 0.1F);
-  for (auto _ : state) {
-    Tensor y = nn::conv2d_forward(x, w, nullptr, 1, 1);
-    benchmark::DoNotOptimize(y.data());
-  }
-  state.SetItemsProcessed(state.iterations() * 16 * 16 * 32 * 32 * 9);
-}
-BENCHMARK(BM_Conv2dForward);
-
-void BM_FireStep(benchmark::State& state) {
-  const snn::Base2Kernel kernel{24, 4.0, 1.0};
-  Rng rng{4};
-  std::vector<double> values(4096);
-  for (auto& v : values) v = rng.uniform(-0.2, 1.3);
-  for (auto _ : state) {
-    int acc = 0;
-    for (const double v : values) acc += kernel.fire_step(v);
-    benchmark::DoNotOptimize(acc);
-  }
-  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(values.size()));
-}
-BENCHMARK(BM_FireStep);
-
-void BM_LogPeAccumulate(benchmark::State& state) {
-  cat::LogPeConfig cfg;
-  cfg.p = 2;
-  cfg.z = 1;
-  cat::LogPe pe{cfg};
-  Rng rng{5};
-  std::vector<std::tuple<int, int, int>> ops(4096);
-  for (auto& [s, q, k] : ops) {
-    s = rng.bernoulli(0.5) ? 1 : -1;
-    q = static_cast<int>(rng.uniform_int(-12, 0));
-    k = static_cast<int>(rng.uniform_int(0, 23));
-  }
-  for (auto _ : state) {
-    pe.reset();
-    for (const auto& [s, q, k] : ops) pe.accumulate(s, q, k);
-    benchmark::DoNotOptimize(pe.membrane());
-  }
-  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(ops.size()));
-}
-BENCHMARK(BM_LogPeAccumulate);
-
-void BM_SpikeEncoder(benchmark::State& state) {
-  const snn::Base2Kernel kernel{24, 4.0, 1.0};
-  Rng rng{6};
-  std::vector<double> vmem(static_cast<std::size_t>(state.range(0)));
-  for (auto& v : vmem) v = rng.uniform(-0.5, 1.2);
-  for (auto _ : state) {
-    auto trace = snn::fire_phase(kernel, vmem);
-    benchmark::DoNotOptimize(trace.spikes.data());
-  }
-  state.SetItemsProcessed(state.iterations() * state.range(0));
-}
-BENCHMARK(BM_SpikeEncoder)->Arg(128)->Arg(4096);
-
-void BM_MinfindMerge(benchmark::State& state) {
-  Rng rng{7};
-  std::vector<std::vector<snn::Spike>> queues(8);
-  for (auto& q : queues) {
-    int step = 0;
-    for (int i = 0; i < 512; ++i) {
-      step += static_cast<int>(rng.uniform_int(0, 2));
-      q.push_back({i, step});
+// An all-neurons spike train sorted by (step, neuron) — the order the fire
+// phase emits — with steps spread across the kernel window.
+std::vector<snn::Spike> full_spike_train(std::int64_t neurons, int window) {
+  std::vector<snn::Spike> spikes;
+  spikes.reserve(static_cast<std::size_t>(neurons));
+  for (int step = 0; step < window; ++step) {
+    for (std::int64_t i = 0; i < neurons; ++i) {
+      if ((i * 7 + 3) % window == step) {
+        spikes.push_back({static_cast<std::int32_t>(i), step});
+      }
     }
   }
-  for (auto _ : state) {
-    auto merged = hw::minfind_merge(queues);
-    benchmark::DoNotOptimize(merged.sorted.data());
-  }
-  state.SetItemsProcessed(state.iterations() * 8 * 512);
+  return spikes;
 }
-BENCHMARK(BM_MinfindMerge);
 
 }  // namespace
+
+int main(int argc, char** argv) {
+  bench::init(argc, argv);
+  const CliArgs args{argc, argv};
+  const int reps = args.get_int("reps", 3);
+  const double ms = args.get_int("ms", 25);
+
+  const snn::Base2Kernel kernel{24, 4.0, 1.0};
+  const snn::ThresholdLut lut{kernel};
+  const float level7 = static_cast<float>(lut.level(7));
+  Rng rng{42};
+
+  std::cout << "\n### micro kernels — isa " << k::isa() << ", best of " << reps << " reps ("
+            << ms << " ms each)\n\n";
+
+  Table table{"micro_kernels"};
+  table.set_header({"case", "n", "isa", "Mops/s"});
+  double checksum = 0.0;
+  const auto add = [&](const std::string& name, std::int64_t n, double mops) {
+    table.add_row({name, std::to_string(n), k::isa(), Table::num(mops, 1)});
+  };
+
+  // --- axpy: the membrane vector-add, dispatch path vs pinned scalar -------
+  {
+    k::AlignedBuffer<float> wbuf, abuf;
+    float* w = wbuf.ensure(512);
+    float* acc = abuf.ensure(512);
+    for (std::int64_t i = 0; i < 512; ++i) w[i] = rng.uniform_f(-1.0F, 1.0F);
+    for (const std::int64_t n : {std::int64_t{16}, std::int64_t{24}, std::int64_t{64},
+                                 std::int64_t{512}}) {
+      std::fill(acc, acc + 512, 0.0F);
+      add("axpy", n, measure(reps, ms, [&] {
+            for (int i = 0; i < 64; ++i) k::axpy(acc, w, level7, n);
+            return 64 * n;
+          }));
+      checksum += acc[0];
+    }
+    std::fill(acc, acc + 512, 0.0F);
+    add("axpy_scalar", 512, measure(reps, ms, [&] {
+          for (int i = 0; i < 64; ++i) k::axpy_scalar(acc, w, level7, 512);
+          return 64 * 512;
+        }));
+    checksum += acc[0];
+  }
+
+  // --- broadcast_rows: the conv bias init (ops = floats written) -----------
+  {
+    const std::int64_t rows = 4096, stride = 16;
+    k::AlignedBuffer<float> abuf;
+    float* acc = abuf.ensure(rows * stride);
+    for (std::int64_t i = 0; i < stride; ++i) acc[i] = rng.uniform_f(-1.0F, 1.0F);
+    add("broadcast_rows", rows, measure(reps, ms, [&] {
+          k::broadcast_rows(acc, rows, stride);
+          return rows * stride;
+        }));
+    checksum += acc[(rows - 1) * stride];
+  }
+
+  // --- integrate_conv: VGG-width layers, L2-resident and cache-blocked -----
+  // 16 input channels spiking densely into 64 output channels through 3x3
+  // taps. The 16x16 case's accumulator (64 KiB) fits one acc block; the
+  // 32x32 case (256 KiB) spans several, exercising the row tiling.
+  for (const std::int64_t hw : {std::int64_t{16}, std::int64_t{32}}) {
+    k::ConvGeom g;
+    g.cin = 16;
+    g.hin = g.win = hw;
+    g.cout = 64;
+    g.cstride = k::padded(g.cout);
+    g.kh = g.kw = 3;
+    g.stride = 1;
+    g.pad = 1;
+    g.oh = g.ow = hw;
+    k::AlignedBuffer<float> wbuf, abuf;
+    float* w = wbuf.ensure(g.cin * g.kh * g.kw * g.cstride);
+    for (std::int64_t i = 0; i < g.cin * g.kh * g.kw * g.cstride; ++i) {
+      w[i] = rng.uniform_f(-0.2F, 0.2F);
+    }
+    float* acc = abuf.ensure(g.oh * g.ow * g.cstride);
+    std::fill(acc, acc + g.oh * g.ow * g.cstride, 0.0F);
+    const auto spikes = full_spike_train(g.cin * g.hin * g.win, kernel.window());
+    add(hw == 16 ? "integrate_conv" : "integrate_conv_blocked", g.cout,
+        measure(reps, ms, [&] {
+          return k::integrate_conv(g, w, spikes.data(),
+                                   static_cast<std::int64_t>(spikes.size()), lut, acc, 0, g.oh);
+        }));
+    checksum += acc[0];
+  }
+
+  // --- integrate_fc: a dense classifier column sweep ------------------------
+  {
+    const std::int64_t in = 4096, out = 512, ostride = k::padded(out);
+    k::AlignedBuffer<float> wbuf, abuf;
+    float* w = wbuf.ensure(in * ostride);
+    for (std::int64_t i = 0; i < in * ostride; ++i) w[i] = rng.uniform_f(-0.1F, 0.1F);
+    float* acc = abuf.ensure(ostride);
+    std::fill(acc, acc + ostride, 0.0F);
+    const auto spikes = full_spike_train(in, kernel.window());
+    add("integrate_fc", out, measure(reps, ms, [&] {
+          return k::integrate_fc(out, ostride, w, spikes.data(),
+                                 static_cast<std::int64_t>(spikes.size()), lut, acc, 0, ostride);
+        }));
+    checksum += acc[0];
+  }
+
+  // --- fire_phase: the spike encoder (ops = membranes scanned) --------------
+  {
+    std::vector<double> vmem(16384);
+    for (double& v : vmem) v = rng.uniform(-0.5, 1.5);
+    add("fire_phase", static_cast<std::int64_t>(vmem.size()), measure(reps, ms, [&] {
+          const snn::LayerEventTrace t = snn::fire_phase(kernel, vmem);
+          return t.neuron_count + static_cast<std::int64_t>(t.spikes.size() & 1);
+        }));
+  }
+
+  bench::emit(table);
+  std::cout << "(checksum " << checksum << ")\n";
+  return 0;
+}

@@ -233,6 +233,12 @@ RunResult InferenceSession::run(const BatchView& batch, const RunOptions& opts) 
                                    batch.sample_shape()[2]);
       }
     }
+    // Spike-parallel fallback: a single chunk means sample-parallelism
+    // starves (batch of 1 on a multi-worker pool), so let the lone arena
+    // split large layers' disjoint output ranges across the pool instead.
+    // Bit-identical either way (see simd.h); cleared when samples fan out so
+    // nested fan-outs never compete for workers.
+    arenas_[0].set_intra_pool(chunks <= 1 && pool_->size() > 1 ? pool_ : nullptr);
   } else if (arenas_.size() < chunks) {
     arenas_.resize(chunks);  // placeholder scratch for arena-free backends
   }

@@ -1,8 +1,10 @@
 #include "snn/event_sim.h"
 
 #include <algorithm>
+#include <atomic>
 
 #include "snn/engine.h"
+#include "snn/simd.h"
 #include "util/check.h"
 #include "util/thread_pool.h"
 
@@ -20,25 +22,13 @@ std::int64_t EventTrace::total_integration_ops() const {
   return n;
 }
 
-float* SimArena::acc(std::int64_t n) {
-  if (acc_.size() < static_cast<std::size_t>(n)) acc_.resize(static_cast<std::size_t>(n));
-  return acc_.data();
-}
+float* SimArena::acc(std::int64_t n) { return acc_.ensure(n); }
 
-int* SimArena::steps(std::int64_t n) {
-  if (steps_.size() < static_cast<std::size_t>(n)) steps_.resize(static_cast<std::size_t>(n));
-  return steps_.data();
-}
+int* SimArena::steps(std::int64_t n) { return steps_.ensure(n); }
 
-int* SimArena::grid(std::int64_t n) {
-  if (grid_.size() < static_cast<std::size_t>(n)) grid_.resize(static_cast<std::size_t>(n));
-  return grid_.data();
-}
+int* SimArena::grid(std::int64_t n) { return grid_.ensure(n); }
 
-std::int64_t* SimArena::counts(std::int64_t n) {
-  if (counts_.size() < static_cast<std::size_t>(n)) counts_.resize(static_cast<std::size_t>(n));
-  return counts_.data();
-}
+std::int64_t* SimArena::counts(std::int64_t n) { return counts_.ensure(n); }
 
 namespace {
 
@@ -91,11 +81,13 @@ void fire_dense(const ThresholdLut& lut, const T* vmem, std::int64_t n, SimArena
   scatter_buckets(steps, n, counts, window, out);
 }
 
-// Fire phase over the conv integration accumulator, which is stored HWC
-// (pixel-major) so integration streams contiguously; neurons are walked in
-// CHW priority order through a strided read.
-void fire_hwc(const ThresholdLut& lut, const float* acc, std::int64_t cout, std::int64_t pixels,
-              SimArena& arena, LayerEventTrace& out) {
+// Fire phase over the conv integration accumulator, which is stored HWC with
+// a padded channel stride (pixel rows of cstride floats, the first cout
+// real) so integration streams contiguously; neurons are walked in CHW
+// priority order through a strided read.
+void fire_hwc(const ThresholdLut& lut, const float* acc, std::int64_t cout,
+              std::int64_t cstride, std::int64_t pixels, SimArena& arena,
+              LayerEventTrace& out) {
   const int window = lut.window();
   const std::int64_t n = cout * pixels;
   int* steps = arena.steps(n);
@@ -104,12 +96,61 @@ void fire_hwc(const ThresholdLut& lut, const float* acc, std::int64_t cout, std:
   for (std::int64_t co = 0; co < cout; ++co) {
     int* row = steps + co * pixels;
     for (std::int64_t p = 0; p < pixels; ++p) {
-      const int k = lut.fire_step(static_cast<double>(acc[p * cout + co]));
+      const int k = lut.fire_step(static_cast<double>(acc[p * cstride + co]));
       row[p] = k;
       if (k != kNoSpike) ++counts[k];
     }
   }
   scatter_buckets(steps, n, counts, window, out);
+}
+
+// Whether the intra-sample split is worth waking the pool for: a rough
+// per-range work estimate in accumulated floats. Any threshold is
+// bit-identical (the split itself is — see simd.h); this one just avoids
+// paying fan-out latency on layers that integrate in microseconds.
+constexpr std::int64_t kIntraMinWork = 1 << 16;
+
+// Integrates a conv layer's spike train into acc rows [0, oh), splitting
+// disjoint output-row ranges across the arena's intra pool when one is set
+// and the layer is large enough. Returns total integration ops.
+std::int64_t integrate_conv_split(const kernels::ConvGeom& g, const float* w,
+                                  const std::vector<Spike>& spikes, const ThresholdLut& lut,
+                                  float* acc, SimArena& arena) {
+  const std::int64_t nspikes = static_cast<std::int64_t>(spikes.size());
+  ThreadPool* pool = arena.intra_pool();
+  const std::int64_t work = nspikes * g.kh * g.kw * g.cstride;
+  if (pool == nullptr || pool->size() < 2 || g.oh < 2 || work < kIntraMinWork) {
+    return kernels::integrate_conv(g, w, spikes.data(), nspikes, lut, acc, 0, g.oh);
+  }
+  // Disjoint row ranges: every accumulator row lives in exactly one range and
+  // replays the full spike train in order, so the merge is integer-only.
+  std::atomic<std::int64_t> ops{0};
+  pool->parallel_for_indexed(0, g.oh, [&](std::size_t, std::int64_t lo, std::int64_t hi) {
+    ops.fetch_add(kernels::integrate_conv(g, w, spikes.data(), nspikes, lut, acc, lo, hi),
+                  std::memory_order_relaxed);
+  });
+  return ops.load(std::memory_order_relaxed);
+}
+
+// FC counterpart: splits disjoint lane-aligned column ranges of [0, ostride).
+std::int64_t integrate_fc_split(std::int64_t out, std::int64_t ostride, const float* w,
+                                const std::vector<Spike>& spikes, const ThresholdLut& lut,
+                                float* acc, SimArena& arena) {
+  const std::int64_t nspikes = static_cast<std::int64_t>(spikes.size());
+  ThreadPool* pool = arena.intra_pool();
+  const std::int64_t lanes = ostride / kernels::kLaneFloats;
+  if (pool == nullptr || pool->size() < 2 || lanes < 2 ||
+      nspikes * ostride < kIntraMinWork) {
+    return kernels::integrate_fc(out, ostride, w, spikes.data(), nspikes, lut, acc, 0, ostride);
+  }
+  std::atomic<std::int64_t> ops{0};
+  // Chunk in whole lanes so every worker's span stays vector-aligned.
+  pool->parallel_for_indexed(0, lanes, [&](std::size_t, std::int64_t lo, std::int64_t hi) {
+    ops.fetch_add(kernels::integrate_fc(out, ostride, w, spikes.data(), nspikes, lut, acc,
+                                        lo * kernels::kLaneFloats, hi * kernels::kLaneFloats),
+                  std::memory_order_relaxed);
+  });
+  return ops.load(std::memory_order_relaxed);
 }
 
 // Core single-sample simulation over a raw (C, H, W) image span. All scratch
@@ -138,58 +179,44 @@ EventTrace run_event_sim_view(const SnnNetwork& net, const float* image, Shape3 
     if (const auto* conv = std::get_if<SnnConv>(&layer)) {
       const PackedConv& pw = std::get<PackedConv>(packs[li]);
       const std::int64_t cout = pw.cout;
+      const std::int64_t cstride = pw.cstride;
       const std::int64_t kh = pw.kh;
       const std::int64_t kw = pw.kw;
       const std::int64_t oh = (cur.h + 2 * conv->pad - kh) / conv->stride + 1;
       const std::int64_t ow = (cur.w + 2 * conv->pad - kw) / conv->stride + 1;
       TTFS_CHECK(pw.cin == cur.c && oh > 0 && ow > 0);
 
-      // HWC accumulator: element (yo, xo, co) at acc[(yo*ow + xo)*cout + co],
-      // so both the weight slot and the membrane update are contiguous
-      // streams of cout floats per (ky, kx) tap.
-      float* acc = arena.acc(cout * oh * ow);
+      // HWC accumulator: element (yo, xo, co) at acc[(yo*ow + xo)*cstride + co]
+      // — pixel rows padded to the pack's cstride so both the weight slot and
+      // the membrane update are whole-lane contiguous streams per tap.
+      float* acc = arena.acc(cstride * oh * ow);
       if (!conv->bias.empty()) {
-        for (std::int64_t p = 0; p < oh * ow; ++p) {
-          for (std::int64_t co = 0; co < cout; ++co) {
-            acc[p * cout + co] = conv->bias[co];
-          }
-        }
+        // Bias init as one packed-row broadcast: write pixel row 0 (zeroing
+        // the padding lanes), then replicate it across the other pixels.
+        for (std::int64_t co = 0; co < cout; ++co) acc[co] = conv->bias[co];
+        std::fill(acc + cout, acc + cstride, 0.0F);
+        kernels::broadcast_rows(acc, oh * ow, cstride);
       } else {
-        std::fill(acc, acc + cout * oh * ow, 0.0F);
+        std::fill(acc, acc + cstride * oh * ow, 0.0F);
       }
 
-      std::int64_t ops = 0;
-      // Integration: spikes arrive (step, neuron)-sorted, so consume them one
-      // timestep group at a time — the level lookup happens once per step,
-      // like the hardware presenting one threshold per cycle.
-      const std::vector<Spike>& spikes = *in_spikes;
-      for (std::size_t si = 0; si < spikes.size();) {
-        const int step = spikes[si].step;
-        const float value = static_cast<float>(lut.level(step));
-        for (; si < spikes.size() && spikes[si].step == step; ++si) {
-          const Spike& s = spikes[si];
-          const std::int64_t ci = s.neuron / (cur.h * cur.w);
-          const std::int64_t yi = (s.neuron / cur.w) % cur.h;
-          const std::int64_t xi = s.neuron % cur.w;
-          const float* wslots = pw.w.data() + ci * kh * kw * cout;
-          for (std::int64_t ky = 0; ky < kh; ++ky) {
-            const std::int64_t ynum = yi + conv->pad - ky;
-            if (ynum < 0 || ynum % conv->stride != 0) continue;
-            const std::int64_t yo = ynum / conv->stride;
-            if (yo >= oh) continue;
-            for (std::int64_t kx = 0; kx < kw; ++kx) {
-              const std::int64_t xnum = xi + conv->pad - kx;
-              if (xnum < 0 || xnum % conv->stride != 0) continue;
-              const std::int64_t xo = xnum / conv->stride;
-              if (xo >= ow) continue;
-              const float* w = wslots + (ky * kw + kx) * cout;
-              float* out = acc + (yo * ow + xo) * cout;
-              for (std::int64_t co = 0; co < cout; ++co) out[co] += w[co] * value;
-              ops += cout;
-            }
-          }
-        }
-      }
+      // Integration: spikes arrive (step, neuron)-sorted; the kernel layer
+      // consumes them one timestep group at a time over cache-blocked output
+      // tiles (simd.h), optionally split row-disjoint across the intra pool.
+      kernels::ConvGeom geom;
+      geom.cin = cur.c;
+      geom.hin = cur.h;
+      geom.win = cur.w;
+      geom.cout = cout;
+      geom.cstride = cstride;
+      geom.kh = kh;
+      geom.kw = kw;
+      geom.stride = conv->stride;
+      geom.pad = conv->pad;
+      geom.oh = oh;
+      geom.ow = ow;
+      const std::int64_t ops =
+          integrate_conv_split(geom, pw.w.data(), *in_spikes, lut, acc, arena);
 
       ++weighted_seen;
       if (weighted_seen == weighted) {
@@ -197,12 +224,14 @@ EventTrace run_event_sim_view(const SnnNetwork& net, const float* image, Shape3 
         trace.logits = Tensor{{1, cout * oh * ow}};
         float* lo = trace.logits.data();
         for (std::int64_t co = 0; co < cout; ++co) {
-          for (std::int64_t p = 0; p < oh * ow; ++p) lo[co * oh * ow + p] = acc[p * cout + co];
+          for (std::int64_t p = 0; p < oh * ow; ++p) {
+            lo[co * oh * ow + p] = acc[p * cstride + co];
+          }
         }
         return trace;
       }
       LayerEventTrace lt;
-      fire_hwc(lut, acc, cout, oh * ow, arena, lt);
+      fire_hwc(lut, acc, cout, cstride, oh * ow, arena, lt);
       lt.integration_ops = ops;
       trace.layers.push_back(std::move(lt));
       in_spikes = &trace.layers.back().spikes;
@@ -210,28 +239,22 @@ EventTrace run_event_sim_view(const SnnNetwork& net, const float* image, Shape3 
     } else if (const auto* fc = std::get_if<SnnFc>(&layer)) {
       const PackedFc& pw = std::get<PackedFc>(packs[li]);
       const std::int64_t out = pw.out;
+      const std::int64_t ostride = pw.ostride;
       TTFS_CHECK(pw.in == cur.numel());
 
-      float* acc = arena.acc(out);
+      float* acc = arena.acc(ostride);
       if (!fc->bias.empty()) {
         for (std::int64_t j = 0; j < out; ++j) acc[j] = fc->bias[j];
+        std::fill(acc + out, acc + ostride, 0.0F);
       } else {
-        std::fill(acc, acc + out, 0.0F);
+        std::fill(acc, acc + ostride, 0.0F);
       }
 
-      std::int64_t ops = 0;
-      const std::vector<Spike>& spikes = *in_spikes;
-      for (std::size_t si = 0; si < spikes.size();) {
-        const int step = spikes[si].step;
-        const float value = static_cast<float>(lut.level(step));
-        for (; si < spikes.size() && spikes[si].step == step; ++si) {
-          // Column-major pack: the spiking input's whole weight column is one
-          // contiguous vector-add.
-          const float* w = pw.w.data() + static_cast<std::int64_t>(spikes[si].neuron) * out;
-          for (std::int64_t j = 0; j < out; ++j) acc[j] += w[j] * value;
-          ops += out;
-        }
-      }
+      // Column-major pack: each spiking input's whole weight column is one
+      // contiguous lane-padded vector-add, dispatched through the kernel
+      // layer (and column-split across the intra pool when it pays).
+      const std::int64_t ops =
+          integrate_fc_split(out, ostride, pw.w.data(), *in_spikes, lut, acc, arena);
 
       ++weighted_seen;
       if (weighted_seen == weighted) {
@@ -346,10 +369,11 @@ void SimArena::reserve_for(const SnnNetwork& net, std::int64_t c, std::int64_t h
       const std::int64_t oh = (cur.h + 2 * conv->pad - conv->weight.dim(2)) / conv->stride + 1;
       const std::int64_t ow = (cur.w + 2 * conv->pad - conv->weight.dim(3)) / conv->stride + 1;
       cur = {conv->weight.dim(0), oh, ow};
-      max_acc = std::max(max_acc, cur.numel());
+      // Accumulators are requested at the pack's padded channel stride.
+      max_acc = std::max(max_acc, kernels::padded(cur.c) * oh * ow);
     } else if (const auto* fc = std::get_if<SnnFc>(&layer)) {
       cur = {fc->weight.dim(0), 1, 1};
-      max_acc = std::max(max_acc, cur.numel());
+      max_acc = std::max(max_acc, kernels::padded(cur.c));
     } else {
       const auto& pool = std::get<SnnPool>(layer);
       max_grid = std::max(max_grid, cur.numel());

@@ -32,6 +32,7 @@
 #include <vector>
 
 #include "snn/network.h"
+#include "snn/simd.h"
 #include "tensor/tensor.h"
 
 namespace ttfs {
@@ -68,6 +69,12 @@ struct EventTrace {
 // An arena is plain scratch: it carries no results between samples and may be
 // handed networks of different shapes. Not thread-safe — one arena per
 // concurrent caller (run_event_sim_batch keeps one per pool chunk).
+//
+// All buffers live in 64-byte-aligned AlignedBuffer storage (simd.h): the
+// accumulator never splits a cache line and per-chunk arenas of a batch
+// fan-out never false-share, since every allocation starts and ends on its
+// own line. The accumulator is requested at *padded* sizes by the simulator
+// (conv: pixels * cstride, fc: ostride) so the SIMD kernels run tail-free.
 class SimArena {
  public:
   SimArena() = default;
@@ -76,18 +83,28 @@ class SimArena {
   // the layer shapes, so not even the first sample allocates.
   void reserve_for(const SnnNetwork& net, std::int64_t c, std::int64_t h, std::int64_t w);
 
-  // Grow-only scratch accessors (contents unspecified). Internal to the
-  // simulator; exposed so the free-function hot loops can use them.
+  // Grow-only scratch accessors (contents unspecified; growth discards — the
+  // simulator fully initializes each buffer before reading it). Internal to
+  // the simulator; exposed so the free-function hot loops can use them.
   float* acc(std::int64_t n);            // membrane accumulator (HWC for conv)
   int* steps(std::int64_t n);            // per-neuron fire step, CHW order
   int* grid(std::int64_t n);             // pooling input step grid, CHW order
   std::int64_t* counts(std::int64_t n);  // per-timestep spike histogram
 
+  // Spike-parallel split: when non-null, integration of a large layer may
+  // fan its *disjoint* output ranges out across this pool (bit-identical —
+  // each accumulator lane is owned by exactly one range; see simd.h). Set by
+  // InferenceSession for the single-chunk case where sample-parallelism
+  // starves (batch of 1 on a multi-worker pool); null means fully inline.
+  void set_intra_pool(ThreadPool* pool) { intra_pool_ = pool; }
+  ThreadPool* intra_pool() const { return intra_pool_; }
+
  private:
-  std::vector<float> acc_;
-  std::vector<int> steps_;
-  std::vector<int> grid_;
-  std::vector<std::int64_t> counts_;
+  kernels::AlignedBuffer<float> acc_;
+  kernels::AlignedBuffer<int> steps_;
+  kernels::AlignedBuffer<int> grid_;
+  kernels::AlignedBuffer<std::int64_t> counts_;
+  ThreadPool* intra_pool_ = nullptr;
 };
 
 // Runs one image (C, H, W) through `net` event by event, using `arena` for

@@ -1,0 +1,227 @@
+// Tuned implementations of the event simulator's hot loops (see simd.h for
+// the layout/bit-exactness contract). This is the only translation unit
+// compiled with vector ISA flags (-mavx2 -mfma when TTFS_SIMD=ON on x86-64)
+// and it is compiled with -ffp-contract=off in every configuration: each
+// element update is exactly `acc[i] = acc[i] + (w[i] * v)` — two
+// correctly-rounded IEEE ops, never a fused one — so the AVX2 lanes, the
+// scalar tail, the scalar fallback build and the frozen reference simulator
+// all produce the same bits.
+#include "snn/simd.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstring>
+
+#include "snn/event_sim.h"
+#include "snn/kernel.h"
+
+#if defined(TTFS_SIMD_AVX2)
+#include <immintrin.h>
+#endif
+
+namespace ttfs::snn::kernels {
+
+namespace {
+
+constexpr std::int64_t kDefaultAccBlockBytes = 128 * 1024;
+
+std::atomic<bool> g_force_scalar{false};
+std::atomic<std::int64_t> g_acc_block_bytes{kDefaultAccBlockBytes};
+
+// The one per-element semantic, shared by every path.
+inline void axpy_elems(float* acc, const float* w, float v, std::int64_t n) {
+  for (std::int64_t i = 0; i < n; ++i) acc[i] += w[i] * v;
+}
+
+#if defined(TTFS_SIMD_AVX2)
+// 8-wide mul+add (deliberately not vfmadd: see simd.h). Unaligned loads are
+// penalty-free on actually-aligned addresses, and callers inside the
+// simulator always hand 64-byte-aligned, lane-padded spans — the tail loop
+// only runs for ad-hoc callers (tests, benches).
+inline void axpy_avx2(float* acc, const float* w, float v, std::int64_t n) {
+  const __m256 vv = _mm256_set1_ps(v);
+  std::int64_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const __m256 p0 = _mm256_mul_ps(_mm256_loadu_ps(w + i), vv);
+    const __m256 p1 = _mm256_mul_ps(_mm256_loadu_ps(w + i + 8), vv);
+    _mm256_storeu_ps(acc + i, _mm256_add_ps(_mm256_loadu_ps(acc + i), p0));
+    _mm256_storeu_ps(acc + i + 8, _mm256_add_ps(_mm256_loadu_ps(acc + i + 8), p1));
+  }
+  for (; i + 8 <= n; i += 8) {
+    const __m256 p = _mm256_mul_ps(_mm256_loadu_ps(w + i), vv);
+    _mm256_storeu_ps(acc + i, _mm256_add_ps(_mm256_loadu_ps(acc + i), p));
+  }
+  axpy_elems(acc + i, w + i, v, n - i);
+}
+#endif
+
+// Compile-time-selected tap update for the integration loops: one branch per
+// integrate_* call picks the instantiation, not one per tap.
+template <bool Simd>
+inline void tap_axpy(float* acc, const float* w, float v, std::int64_t n) {
+#if defined(TTFS_SIMD_AVX2)
+  if constexpr (Simd) {
+    axpy_avx2(acc, w, v, n);
+    return;
+  }
+#endif
+  axpy_elems(acc, w, v, n);
+}
+
+template <bool Simd>
+std::int64_t integrate_conv_impl(const ConvGeom& g, const float* w, const Spike* spikes,
+                                 std::int64_t nspikes, const ThresholdLut& lut, float* acc,
+                                 std::int64_t yo0, std::int64_t yo1) {
+  // Cache blocking: tile [yo0, yo1) into row blocks whose accumulator spans
+  // fit acc_block_bytes(), block outermost — each tile's rows are touched by
+  // every timestep group while resident instead of the whole accumulator
+  // streaming through cache once per group. Per-accumulator add order is
+  // untouched (a (yo, xo) row lives in exactly one block and sees the spike
+  // train in its original order).
+  const std::int64_t row_bytes =
+      g.ow * g.cstride * static_cast<std::int64_t>(sizeof(float));
+  std::int64_t block_rows = yo1 - yo0;
+  if (row_bytes > 0) {
+    const std::int64_t budget = acc_block_bytes() / row_bytes;
+    block_rows = std::max<std::int64_t>(1, std::min(block_rows, budget));
+  }
+
+  const std::int64_t plane = g.hin * g.win;
+  std::int64_t ops = 0;
+  for (std::int64_t b0 = yo0; b0 < yo1; b0 += block_rows) {
+    const std::int64_t b1 = std::min(yo1, b0 + block_rows);
+    for (std::int64_t si = 0; si < nspikes;) {
+      const int step = spikes[si].step;
+      std::int64_t se = si;
+      while (se < nspikes && spikes[se].step == step) ++se;
+      // One level lookup per timestep group, like the hardware presenting
+      // one threshold per cycle.
+      const float value = static_cast<float>(lut.level(step));
+      for (std::int64_t s = si; s < se; ++s) {
+        const std::int64_t neuron = spikes[s].neuron;
+        const std::int64_t ci = neuron / plane;
+        const std::int64_t yi = (neuron / g.win) % g.hin;
+        const std::int64_t xi = neuron % g.win;
+        const float* wslots = w + ci * g.kh * g.kw * g.cstride;
+        for (std::int64_t ky = 0; ky < g.kh; ++ky) {
+          const std::int64_t ynum = yi + g.pad - ky;
+          if (ynum < 0 || ynum % g.stride != 0) continue;
+          const std::int64_t yo = ynum / g.stride;
+          if (yo < b0 || yo >= b1) continue;
+          for (std::int64_t kx = 0; kx < g.kw; ++kx) {
+            const std::int64_t xnum = xi + g.pad - kx;
+            if (xnum < 0 || xnum % g.stride != 0) continue;
+            const std::int64_t xo = xnum / g.stride;
+            if (xo >= g.ow) continue;
+            tap_axpy<Simd>(acc + (yo * g.ow + xo) * g.cstride,
+                           wslots + (ky * g.kw + kx) * g.cstride, value, g.cstride);
+            ops += g.cout;  // padding lanes do not count as work
+          }
+        }
+      }
+      si = se;
+    }
+  }
+  return ops;
+}
+
+template <bool Simd>
+std::int64_t integrate_fc_impl(std::int64_t out, std::int64_t ostride, const float* w,
+                               const Spike* spikes, std::int64_t nspikes,
+                               const ThresholdLut& lut, float* acc, std::int64_t j0,
+                               std::int64_t j1) {
+  // Column blocks sized to acc_block_bytes(), rounded to whole lanes so
+  // every inner span stays lane-aligned.
+  std::int64_t block =
+      acc_block_bytes() / static_cast<std::int64_t>(sizeof(float)) / kLaneFloats * kLaneFloats;
+  block = std::max(block, kLaneFloats);
+
+  std::int64_t ops = 0;
+  for (std::int64_t b0 = j0; b0 < j1; b0 += block) {
+    const std::int64_t b1 = std::min(j1, b0 + block);
+    // Real (unpadded) columns in this block: what the op counter owes.
+    const std::int64_t real = std::max<std::int64_t>(
+        0, std::min(b1, out) - std::min(b0, out));
+    for (std::int64_t si = 0; si < nspikes;) {
+      const int step = spikes[si].step;
+      std::int64_t se = si;
+      while (se < nspikes && spikes[se].step == step) ++se;
+      const float value = static_cast<float>(lut.level(step));
+      for (std::int64_t s = si; s < se; ++s) {
+        const float* col = w + static_cast<std::int64_t>(spikes[s].neuron) * ostride;
+        tap_axpy<Simd>(acc + b0, col + b0, value, b1 - b0);
+      }
+      si = se;
+    }
+    ops += real * nspikes;
+  }
+  return ops;
+}
+
+}  // namespace
+
+bool simd_active() {
+#if defined(TTFS_SIMD_AVX2)
+  static const bool cpu_ok = __builtin_cpu_supports("avx2") != 0;
+  return cpu_ok && !g_force_scalar.load(std::memory_order_relaxed);
+#else
+  return false;
+#endif
+}
+
+const char* isa() { return simd_active() ? "avx2" : "scalar"; }
+
+void force_scalar(bool on) { g_force_scalar.store(on, std::memory_order_relaxed); }
+
+std::int64_t acc_block_bytes() { return g_acc_block_bytes.load(std::memory_order_relaxed); }
+
+void set_acc_block_bytes(std::int64_t bytes) {
+  g_acc_block_bytes.store(bytes > 0 ? bytes : kDefaultAccBlockBytes,
+                          std::memory_order_relaxed);
+}
+
+void axpy(float* acc, const float* w, float v, std::int64_t n) {
+#if defined(TTFS_SIMD_AVX2)
+  if (simd_active()) {
+    axpy_avx2(acc, w, v, n);
+    return;
+  }
+#endif
+  axpy_elems(acc, w, v, n);
+}
+
+void axpy_scalar(float* acc, const float* w, float v, std::int64_t n) {
+  axpy_elems(acc, w, v, n);
+}
+
+void broadcast_rows(float* acc, std::int64_t rows, std::int64_t stride) {
+  // Doubling copy: row 0 -> row 1, rows [0,2) -> [2,4), ... O(log rows)
+  // memcpys instead of a per-pixel scalar loop.
+  std::int64_t filled = 1;
+  while (filled < rows) {
+    const std::int64_t count = std::min(filled, rows - filled);
+    std::memcpy(acc + filled * stride, acc,
+                static_cast<std::size_t>(count * stride) * sizeof(float));
+    filled += count;
+  }
+}
+
+std::int64_t integrate_conv(const ConvGeom& g, const float* w, const Spike* spikes,
+                            std::int64_t nspikes, const ThresholdLut& lut, float* acc,
+                            std::int64_t yo0, std::int64_t yo1) {
+  if (simd_active()) {
+    return integrate_conv_impl<true>(g, w, spikes, nspikes, lut, acc, yo0, yo1);
+  }
+  return integrate_conv_impl<false>(g, w, spikes, nspikes, lut, acc, yo0, yo1);
+}
+
+std::int64_t integrate_fc(std::int64_t out, std::int64_t ostride, const float* w,
+                          const Spike* spikes, std::int64_t nspikes, const ThresholdLut& lut,
+                          float* acc, std::int64_t j0, std::int64_t j1) {
+  if (simd_active()) {
+    return integrate_fc_impl<true>(out, ostride, w, spikes, nspikes, lut, acc, j0, j1);
+  }
+  return integrate_fc_impl<false>(out, ostride, w, spikes, nspikes, lut, acc, j0, j1);
+}
+
+}  // namespace ttfs::snn::kernels

@@ -61,12 +61,17 @@ void SnnNetwork::ensure_packed() const {
       p.cin = conv->weight.dim(1);
       p.kh = conv->weight.dim(2);
       p.kw = conv->weight.dim(3);
-      p.w.resize(static_cast<std::size_t>(conv->weight.numel()));
+      p.cstride = kernels::padded(p.cout);
+      const std::int64_t slots = p.cin * p.kh * p.kw;
+      float* dst = p.w.ensure(slots * p.cstride);
+      // Zero-fill first: the [cout, cstride) padding lanes must stay 0 so the
+      // tail-free SIMD kernels only ever accumulate 0 * value into them.
+      std::fill(dst, dst + slots * p.cstride, 0.0F);
       // (co, ci, ky, kx) -> slot-major: slot = (ci*kh + ky)*kw + kx, then co.
       const float* src = conv->weight.data();
       for (std::int64_t co = 0; co < p.cout; ++co) {
-        for (std::int64_t slot = 0; slot < p.cin * p.kh * p.kw; ++slot) {
-          p.w[static_cast<std::size_t>(slot * p.cout + co)] = *src++;
+        for (std::int64_t slot = 0; slot < slots; ++slot) {
+          dst[slot * p.cstride + co] = *src++;
         }
       }
       packed_.emplace_back(std::move(p));
@@ -74,12 +79,14 @@ void SnnNetwork::ensure_packed() const {
       PackedFc p;
       p.out = fc->weight.dim(0);
       p.in = fc->weight.dim(1);
-      p.w.resize(static_cast<std::size_t>(fc->weight.numel()));
+      p.ostride = kernels::padded(p.out);
+      float* dst = p.w.ensure(p.in * p.ostride);
+      std::fill(dst, dst + p.in * p.ostride, 0.0F);
       // (j, i) row-major -> column-major: column i, then j.
       const float* src = fc->weight.data();
       for (std::int64_t j = 0; j < p.out; ++j) {
         for (std::int64_t i = 0; i < p.in; ++i) {
-          p.w[static_cast<std::size_t>(i * p.out + j)] = *src++;
+          dst[i * p.ostride + j] = *src++;
         }
       }
       packed_.emplace_back(std::move(p));
@@ -101,9 +108,9 @@ std::size_t SnnNetwork::packed_bytes() const {
   std::size_t bytes = 0;
   for (const PackedLayer& layer : packed_) {
     if (const auto* conv = std::get_if<PackedConv>(&layer)) {
-      bytes += conv->w.capacity() * sizeof(float);
+      bytes += static_cast<std::size_t>(conv->w.size()) * sizeof(float);
     } else if (const auto* fc = std::get_if<PackedFc>(&layer)) {
-      bytes += fc->w.capacity() * sizeof(float);
+      bytes += static_cast<std::size_t>(fc->w.size()) * sizeof(float);
     }
   }
   return bytes;

@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "snn/kernel.h"
+#include "snn/simd.h"
 #include "tensor/tensor.h"
 
 namespace ttfs {
@@ -68,16 +69,23 @@ using SnnLayer = std::variant<SnnConv, SnnFc, SnnPool>;
 // event simulator's inner loop — "stream this input's weight vector over all
 // outputs" — was a strided gather. The packs store the same values
 // output-contiguous so each incoming spike performs contiguous vector adds:
-//  * conv: slot-major — w[((ci*kh + ky)*kw + kx) * cout + co]
-//  * fc:   column-major — w[i * out + j]
+//  * conv: slot-major — w[((ci*kh + ky)*kw + kx) * cstride + co]
+//  * fc:   column-major — w[i * ostride + j]
+// Output spans are padded to the kernel layer's lane width (simd.h: cstride =
+// padded(cout), ostride = padded(out); padding weights are zero and never
+// read back) and the storage is 64-byte aligned, so the SIMD kernels run with
+// no tail loop and no cache-line splits. The padded layout is identical in
+// SIMD and scalar builds. Packs are move-only (AlignedBuffer storage).
 struct PackedConv {
   std::int64_t cout = 0, cin = 0, kh = 0, kw = 0;
-  std::vector<float> w;  // cin*kh*kw slots of cout contiguous floats
+  std::int64_t cstride = 0;  // padded(cout): stride between weight slots
+  kernels::AlignedBuffer<float> w;  // cin*kh*kw slots of cstride floats
 };
 
 struct PackedFc {
   std::int64_t out = 0, in = 0;
-  std::vector<float> w;  // in columns of out contiguous floats
+  std::int64_t ostride = 0;  // padded(out): stride between columns
+  kernels::AlignedBuffer<float> w;  // in columns of ostride floats
 };
 
 // monostate = layer with no weights (pool).

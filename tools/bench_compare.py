@@ -12,7 +12,11 @@ against a relative tolerance band:
     --tolerance (default 15%) below baseline;
   * tail latency (p95 ms, us/sample) regresses when it rises more than
     --latency-tolerance (default 60%: quantiles on shared CI runners are far
-    noisier than throughput) above baseline.
+    noisier than throughput) above baseline;
+  * derived ratios ("speedup vs batch 1", rendered like "3.4x") regress when
+    they drop more than --ratio-tolerance (default 15%) below baseline. Ratios
+    divide out absolute runner speed, so batch-scaling losses fail the gate
+    even when raw samples/s drifts with the machine.
 
 A baseline row or file with no current counterpart is a failure too — a bench
 that silently stops running is a lost regression signal, not a pass
@@ -42,8 +46,18 @@ from glob import glob
 METRICS = {
     "samples/s": +1,
     "reqs/s": +1,
+    "Mops/s": +1,
     "p95 ms": -1,
     "us/sample": -1,
+}
+
+# Derived-ratio columns ("3.4x" strings) and their good direction. Gated with
+# their own --ratio-tolerance band: a ratio of two same-run measurements
+# cancels absolute machine speed, so it can be held much more firmly than raw
+# throughput — a batch-64 run that stops scaling over batch-1 fails here even
+# if every absolute samples/s number is inside its (noise-sized) band.
+RATIO_METRICS = {
+    "speedup vs batch 1": +1,
 }
 
 # Configuration columns that identify a row across runs. Everything else that
@@ -61,6 +75,7 @@ DIMENSIONS = (
     "models",
     "workload",
     "case",
+    "n",
 )
 
 
@@ -85,7 +100,14 @@ def to_float(value):
         return None
 
 
-def compare_file(bench, base, cur, tolerance, latency_tolerance):
+def to_ratio(value):
+    """Parses a derived-ratio cell like "3.4x" (plain floats also accepted)."""
+    if isinstance(value, str) and value.endswith("x"):
+        value = value[:-1]
+    return to_float(value)
+
+
+def compare_file(bench, base, cur, tolerance, latency_tolerance, ratio_tolerance):
     """Yields (status, detail_row) per gated metric; status in
     {ok, regressed, missing}."""
     current_rows = {}
@@ -97,9 +119,17 @@ def compare_file(bench, base, cur, tolerance, latency_tolerance):
         if crow is None:
             yield "missing", (fmt_key(bench, key), "(row)", "-", "missing", "-", "MISSING ROW")
             continue
-        for metric, direction in METRICS.items():
-            bval = to_float(brow.get(metric))
-            cval = to_float(crow.get(metric))
+        gated = [
+            (metric, direction, to_float,
+             tolerance if direction > 0 else latency_tolerance)
+            for metric, direction in METRICS.items()
+        ] + [
+            (metric, direction, to_ratio, ratio_tolerance)
+            for metric, direction in RATIO_METRICS.items()
+        ]
+        for metric, direction, parse, tol in gated:
+            bval = parse(brow.get(metric))
+            cval = parse(crow.get(metric))
             if bval is None or bval == 0.0:
                 continue  # metric absent in this table (or degenerate baseline)
             if cval is None:
@@ -107,9 +137,8 @@ def compare_file(bench, base, cur, tolerance, latency_tolerance):
                                   "MISSING METRIC")
                 continue
             delta = (cval - bval) / bval
-            tol = tolerance if direction > 0 else latency_tolerance
             regressed = (direction > 0 and delta < -tol) or (direction < 0 and delta > tol)
-            band = f"±{tol:.0%}" if direction > 0 else f"+{tol:.0%}"
+            band = f"-{tol:.0%}" if direction > 0 else f"+{tol:.0%}"
             status = "REGRESSED" if regressed else "ok"
             yield ("regressed" if regressed else "ok"), (
                 fmt_key(bench, key), metric, f"{bval:g}", f"{cval:g}", f"{delta:+.1%} ({band})",
@@ -126,6 +155,9 @@ def main():
                     help="relative throughput drop that fails the gate (default 0.15)")
     ap.add_argument("--latency-tolerance", type=float, default=0.60,
                     help="relative tail-latency rise that fails the gate (default 0.60)")
+    ap.add_argument("--ratio-tolerance", type=float, default=0.15,
+                    help="relative drop in a derived-ratio column (speedup vs batch 1) "
+                         "that fails the gate (default 0.15)")
     ap.add_argument("--summary", default=os.environ.get("GITHUB_STEP_SUMMARY"),
                     help="file to append the markdown report to (defaults to "
                          "$GITHUB_STEP_SUMMARY when set)")
@@ -170,7 +202,8 @@ def main():
             missing += 1
             continue
         for status, row in compare_file(bench, load(bpath), load(cpath),
-                                        args.tolerance, args.latency_tolerance):
+                                        args.tolerance, args.latency_tolerance,
+                                        args.ratio_tolerance):
             checks += 1
             details.append(row)
             if status == "regressed":
