@@ -19,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "cat/logquant.h"
 #include "common.h"
 #include "snn/engine.h"
 #include "snn/event_sim.h"
@@ -129,9 +130,35 @@ int main(int argc, char** argv) {
       engine.session(snn::BackendKind::kEventSim, std::move(sopts));
   rate_opt = measure(opt_session, sum_opt);
 
+  // Quantized lane: the same stack log-quantized, then run through both the
+  // float event sim and the int16 fixed-point backend. Their integer
+  // artifacts (spikes, ops, cycles) must agree exactly — the same
+  // conformance snn_engine_test asserts — so the quantized row's speedup is
+  // again for bit-identical work.
+  snn::SnnNetwork qnet = net;
+  cat::log_quantize_network(qnet, cat::LogQuantConfig{});
+  const snn::Engine qengine{qnet};
+  std::uint64_t sum_qevent = 0;
+  {
+    snn::InferenceSession qevent = qengine.session(snn::BackendKind::kEventSim);
+    for (std::int64_t i = 0; i < samples; ++i) {
+      const std::vector<const Tensor*> one{&samples_owned[static_cast<std::size_t>(i)]};
+      sum_qevent += checksum(qevent.run(snn::BatchView{one}, ropts).traces[0]);
+    }
+  }
+  snn::SessionOptions qopts;
+  qopts.max_batch_hint = 1;
+  qopts.input_shape = {3, 32, 32};
+  snn::InferenceSession quant_session =
+      qengine.session(snn::BackendKind::kQuantized, std::move(qopts));
+  std::uint64_t sum_quant = 0;
+  const double rate_quant = measure(quant_session, sum_quant);
+
   table.add_row({"reference", Table::num(rate_ref, 1), Table::num(1e6 / rate_ref, 1), "1.00x"});
   table.add_row({"overhauled", Table::num(rate_opt, 1), Table::num(1e6 / rate_opt, 1),
                  Table::num(rate_opt / rate_ref, 2) + "x"});
+  table.add_row({"quantized", Table::num(rate_quant, 1), Table::num(1e6 / rate_quant, 1),
+                 Table::num(rate_quant / rate_ref, 2) + "x"});
   bench::emit(table);
 
   if (sum_ref != sum_opt) {
@@ -139,6 +166,11 @@ int main(int argc, char** argv) {
               << "\n";
     return 1;
   }
-  std::cout << "(checksums match: " << sum_ref << ")\n";
+  if (sum_qevent != sum_quant) {
+    std::cerr << "CHECKSUM MISMATCH: quantized-net event " << sum_qevent << " vs quantized "
+              << sum_quant << "\n";
+    return 1;
+  }
+  std::cout << "(checksums match: " << sum_ref << "; quantized " << sum_quant << ")\n";
   return 0;
 }

@@ -21,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "cat/logpe.h"
 #include "common.h"
 #include "snn/event_sim.h"
 #include "snn/kernel.h"
@@ -153,6 +154,71 @@ int main(int argc, char** argv) {
                                    static_cast<std::int64_t>(spikes.size()), lut, acc, 0, g.oh);
         }));
     checksum += acc[0];
+  }
+
+  // --- integrate_conv_q: the int16 fixed-point conv kernel ------------------
+  // Same 16-channel VGG-width geometry as integrate_conv, weights as packed
+  // sign+exponent codes, int32 accumulator — the quantized backend's hot
+  // loop (one shift-add per tap via the shared LogPe LUT).
+  {
+    cat::LogPeConfig pe_config;
+    pe_config.p = 2;  // tau = 4
+    pe_config.z = 1;
+    pe_config.lut_bits = 24;
+    pe_config.acc_frac_bits = 24;
+    pe_config.acc_int_bits = 7;
+    const cat::LogPe pe{pe_config};
+    k::QuantKernelParams qp;
+    qp.lut = pe.lut().data();
+    qp.frac_bits = pe_config.frac_bits();
+    qp.lut_bits = pe_config.lut_bits;
+    qp.acc_frac_bits = pe_config.acc_frac_bits;
+    qp.acc_limit = std::int64_t{1} << (pe_config.acc_int_bits + pe_config.acc_frac_bits);
+    qp.wmul = 1 << (qp.frac_bits - pe_config.z);
+    qp.smul = 1 << (qp.frac_bits - pe_config.p);
+    qp.q_lo = -10;
+    qp.q_hi = 0;
+    const auto random_code = [&] {
+      const int q = static_cast<int>(rng.uniform_int(qp.q_lo, qp.q_hi));
+      return static_cast<std::int16_t>(q * 2 + (rng.bernoulli(0.5) ? 1 : 0));
+    };
+
+    k::ConvGeom g;
+    g.cin = 16;
+    g.hin = g.win = 16;
+    g.cout = 64;
+    g.cstride = k::padded(g.cout);
+    g.kh = g.kw = 3;
+    g.stride = 1;
+    g.pad = 1;
+    g.oh = g.ow = 16;
+    k::AlignedBuffer<std::int16_t> qwbuf;
+    k::AlignedBuffer<std::int32_t> qabuf;
+    std::int16_t* qw = qwbuf.ensure(g.cin * g.kh * g.kw * g.cstride);
+    for (std::int64_t i = 0; i < g.cin * g.kh * g.kw * g.cstride; ++i) qw[i] = random_code();
+    std::int32_t* qacc = qabuf.ensure(g.oh * g.ow * g.cstride);
+    std::fill(qacc, qacc + g.oh * g.ow * g.cstride, 0);
+    const auto conv_spikes = full_spike_train(g.cin * g.hin * g.win, kernel.window());
+    add("integrate_conv_q", g.cout, measure(reps, ms, [&] {
+          return k::integrate_conv_q(g, qw, conv_spikes.data(),
+                                     static_cast<std::int64_t>(conv_spikes.size()), qp, qacc, 0,
+                                     g.oh);
+        }));
+    checksum += static_cast<double>(qacc[0]);
+
+    // --- integrate_fc_q: the int16 fixed-point classifier sweep -------------
+    const std::int64_t in = 4096, out = 512, ostride = k::padded(out);
+    std::int16_t* qfw = qwbuf.ensure(in * ostride);
+    for (std::int64_t i = 0; i < in * ostride; ++i) qfw[i] = random_code();
+    std::int32_t* qfacc = qabuf.ensure(ostride);
+    std::fill(qfacc, qfacc + ostride, 0);
+    const auto fc_spikes = full_spike_train(in, kernel.window());
+    add("integrate_fc_q", out, measure(reps, ms, [&] {
+          return k::integrate_fc_q(out, ostride, qfw, fc_spikes.data(),
+                                   static_cast<std::int64_t>(fc_spikes.size()), qp, qfacc, 0,
+                                   ostride);
+        }));
+    checksum += static_cast<double>(qfacc[0]);
   }
 
   // --- integrate_fc: a dense classifier column sweep ------------------------

@@ -38,7 +38,8 @@ inline bool& json_mode() {
   return enabled;
 }
 
-// Process-wide --backend flag (gemm|event|reference): which snn::Engine
+// Process-wide --backend flag (gemm|event|reference|quantized): which
+// snn::Engine
 // realization inference-driven benches run. Empty until --backend is passed;
 // resolve through backend_kind(fallback) so each bench keeps its historical
 // default (gemm for the accuracy tables, event for the serving/throughput

@@ -9,6 +9,11 @@ namespace ttfs::cat {
 LogPe::LogPe(LogPeConfig config) : config_{config} {
   TTFS_CHECK(config.p >= 0 && config.z >= 0 && config.lut_bits > 0 && config.acc_frac_bits > 0);
   TTFS_CHECK(config.frac_bits() <= 8);
+  // The saturation limit is computed as 1 << (int + frac); keep that shift
+  // (and the register width it models) well-defined in int64 arithmetic.
+  TTFS_CHECK_MSG(config.acc_int_bits > 0 && config.acc_int_bits + config.acc_frac_bits <= 62,
+                 "accumulator width must satisfy 0 < acc_int_bits && "
+                 "acc_int_bits + acc_frac_bits <= 62");
   lut_.resize(static_cast<std::size_t>(config_.lut_entries()));
   const int f = config_.frac_bits();
   for (int i = 0; i < config_.lut_entries(); ++i) {
@@ -67,9 +72,12 @@ std::int64_t LogPe::accumulate(int sign, int q, int step) {
   if (sign < 0) add = -add;
   acc_ += add;
   // Saturating accumulator, like the fixed-width Vmem register in the PE.
+  // A two's-complement (int+frac)-bit register holds [-2^(w-1), 2^(w-1) - 1]
+  // LSBs; saturating to +limit would overshoot the representable maximum by
+  // one LSB.
   const std::int64_t limit = std::int64_t{1}
                              << (config_.acc_int_bits + config_.acc_frac_bits);
-  if (acc_ > limit) acc_ = limit;
+  if (acc_ > limit - 1) acc_ = limit - 1;
   if (acc_ < -limit) acc_ = -limit;
   return add;
 }

@@ -8,15 +8,7 @@ namespace ttfs::cat {
 namespace {
 
 double quantize_with_qmax(double w, int q_max, const LogQuantConfig& config) {
-  if (w == 0.0) return 0.0;
-  const double s = config.step();
-  const double mag = std::fabs(w);
-  const int q = static_cast<int>(std::lround(std::log2(mag) / s));
-  const int q_min = q_max - (config.magnitude_levels() - 1);
-  if (q < q_min) return 0.0;  // underflow -> zero code
-  const int q_clamped = std::min(q, q_max);
-  const double out = std::exp2(static_cast<double>(q_clamped) * s);
-  return w < 0.0 ? -out : out;
+  return expand_code(log_quantize_code(w, q_max, config), config);
 }
 
 int qmax_for_fsr(double fsr, const LogQuantConfig& config) {
@@ -31,6 +23,32 @@ int qmax_for_fsr(double fsr, const LogQuantConfig& config) {
 }
 
 }  // namespace
+
+LogQuantCode log_quantize_code(double w, int q_max, const LogQuantConfig& config) {
+  LogQuantCode code;
+  if (w == 0.0) return code;
+  const double s = config.step();
+  const double mag = std::fabs(w);
+  // lround = round-half-away-from-zero, matching Eq. 15's round() (see the
+  // header note on why the tie rule is immaterial for float inputs).
+  const int q = static_cast<int>(std::lround(std::log2(mag) / s));
+  const int q_min = q_max - (config.magnitude_levels() - 1);
+  if (q < q_min) return code;  // underflow -> zero code
+  code.zero = false;
+  code.sign = w < 0.0 ? -1 : 1;
+  code.q = std::min(q, q_max);
+  return code;
+}
+
+double expand_code(const LogQuantCode& code, const LogQuantConfig& config) {
+  if (code.zero) return 0.0;
+  const double out = std::exp2(static_cast<double>(code.q) * config.step());
+  return code.sign < 0 ? -out : out;
+}
+
+int log_quantize_qmax(double fsr, const LogQuantConfig& config) {
+  return qmax_for_fsr(fsr, config);
+}
 
 double log_quantize_value(double w, double fsr, const LogQuantConfig& config) {
   TTFS_CHECK(config.bits >= 2 && config.z >= 0);

@@ -49,4 +49,34 @@ std::vector<LayerQuantInfo> log_quantize_network(snn::SnnNetwork& net,
 // Reference scalar quantizer (Eq. 15) — exposed for tests.
 double log_quantize_value(double w, double fsr, const LogQuantConfig& config);
 
+// Code-level view of the quantizer: the (sign, q) pair before expansion back
+// to float. `zero` covers both w == 0 and underflow below the code window.
+//
+// Rounding note: q is round(log2|w| / s) via lround, which ties away from
+// zero. The paper's Eq. 15 writes an unqualified round() over the log2-domain
+// ratio, i.e. round-half-away-from-zero — exactly lround's contract — and an
+// exact tie requires log2|w|/s to be representable as k + 1/2, a measure-zero
+// set for float weights, so the tie rule cannot systematically bias real
+// layers either way.
+struct LogQuantCode {
+  bool zero = true;
+  int sign = 0;  // -1 or +1 when !zero
+  int q = 0;     // exponent code, units of `step` in the log2 domain
+};
+
+// Quantizes one value to its code against a layer anchor q_max. This is the
+// authoritative producer of codes: consumers that need q (e.g. the quantized
+// weight pack) must take it from here rather than re-deriving it from the
+// expanded float — log2 of the expanded value rounds back to a *different*
+// code at the clamp edge.
+LogQuantCode log_quantize_code(double w, int q_max, const LogQuantConfig& config);
+
+// Expands a code back to the float the quantized tensor stores.
+double expand_code(const LogQuantCode& code, const LogQuantConfig& config);
+
+// Layer anchor: the top exponent code for a given full-scale range (ceil
+// anchor — see the .cpp note). Exposed so packers can reproduce the exact
+// code stream log_quantize_tensor emitted.
+int log_quantize_qmax(double fsr, const LogQuantConfig& config);
+
 }  // namespace ttfs::cat

@@ -18,6 +18,7 @@ std::string to_string(BackendKind kind) {
     case BackendKind::kGemm: return "gemm";
     case BackendKind::kEventSim: return "event";
     case BackendKind::kReference: return "reference";
+    case BackendKind::kQuantized: return "quantized";
   }
   return "unknown";
 }
@@ -26,7 +27,9 @@ BackendKind backend_kind_from_string(const std::string& name) {
   if (name == "gemm") return BackendKind::kGemm;
   if (name == "event" || name == "event_sim") return BackendKind::kEventSim;
   if (name == "reference") return BackendKind::kReference;
-  throw std::invalid_argument("unknown backend '" + name + "' (want gemm|event|reference)");
+  if (name == "quantized") return BackendKind::kQuantized;
+  throw std::invalid_argument("unknown backend '" + name +
+                              "' (want gemm|event|reference|quantized)");
 }
 
 SnnRunStats RunResult::merged_stats() const {
@@ -152,6 +155,15 @@ void EventSimBackend::run_sample(const SnnNetwork& net, const BatchView& batch, 
   deliver_trace(net, detail::run_event_sim_span(net, batch.sample(i), c, h, w, arena), slots);
 }
 
+void QuantizedEventSimBackend::run_sample(const SnnNetwork& net, const BatchView& batch,
+                                          std::int64_t i, SimArena& arena,
+                                          const SampleSlots& slots) const {
+  std::int64_t c, h, w;
+  sample_chw(batch, c, h, w);
+  deliver_trace(net, detail::run_quantized_event_sim_span(net, batch.sample(i), c, h, w, arena),
+                slots);
+}
+
 void ReferenceBackend::run_sample(const SnnNetwork& net, const BatchView& batch, std::int64_t i,
                                   SimArena& arena, const SampleSlots& slots) const {
   (void)arena;
@@ -167,10 +179,12 @@ std::shared_ptr<const InferenceBackend> make_backend(BackendKind kind) {
   static const auto gemm = std::make_shared<const GemmBackend>();
   static const auto event = std::make_shared<const EventSimBackend>();
   static const auto reference = std::make_shared<const ReferenceBackend>();
+  static const auto quantized = std::make_shared<const QuantizedEventSimBackend>();
   switch (kind) {
     case BackendKind::kGemm: return gemm;
     case BackendKind::kEventSim: return event;
     case BackendKind::kReference: return reference;
+    case BackendKind::kQuantized: return quantized;
   }
   TTFS_CHECK_MSG(false, "unknown BackendKind");
   return nullptr;
@@ -183,10 +197,10 @@ InferenceSession::InferenceSession(const SnnNetwork& net,
       backend_{std::move(backend)},
       pool_{opts.pool != nullptr ? opts.pool : &global_pool()} {
   TTFS_CHECK_MSG(backend_ != nullptr, "InferenceSession needs a backend");
-  // Build the weight pack (if this backend reads it) while the session is
+  // Build the backend's weight pack (if it reads one) while the session is
   // being constructed — typically a single-threaded moment — so runs fan
   // workers out over a read-only net.
-  if (backend_->needs_packed_weights()) net_->ensure_packed();
+  backend_->ensure_ready(*net_);
   if (backend_->uses_arena() && opts.max_batch_hint > 0 && opts.input_shape.size() == 3) {
     // Sized from the pool's worker count directly, not max_chunks(): that
     // helper returns 1 when called *from* a pool worker thread, but runs may
@@ -210,8 +224,8 @@ RunResult InferenceSession::run(const BatchView& batch, const RunOptions& opts) 
     throw std::invalid_argument("backend '" + backend_->name() +
                                 "' cannot materialize traces (RunOptions::traces)");
   }
-  // Rebuilds the pack if the caller mutated layers between runs.
-  if (backend_->needs_packed_weights()) net_->ensure_packed();
+  // Rebuilds the backend's pack if the caller mutated layers between runs.
+  backend_->ensure_ready(*net_);
   const std::int64_t n = batch.size();
 
   RunResult out;

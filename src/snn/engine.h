@@ -59,11 +59,12 @@ namespace ttfs::snn {
 
 // The built-in backends. kGemm is the fast layer-sequential path, kEventSim
 // the spike-order-accurate simulator, kReference the frozen oracle (slow;
-// for validation only).
-enum class BackendKind { kGemm, kEventSim, kReference };
+// for validation only), kQuantized the fixed-point integer path over the
+// log-quantized weight pack (quant.h).
+enum class BackendKind { kGemm, kEventSim, kReference, kQuantized };
 
-// "gemm" / "event" / "reference" — the spelling shared by every --backend
-// flag (bench/common.h) and the BENCH_*.json "backend" field.
+// "gemm" / "event" / "reference" / "quantized" — the spelling shared by every
+// --backend flag (bench/common.h) and the BENCH_*.json "backend" field.
 std::string to_string(BackendKind kind);
 // Inverse of to_string; throws std::invalid_argument on an unknown name.
 BackendKind backend_kind_from_string(const std::string& name);
@@ -155,6 +156,31 @@ class InferenceBackend {
   // never read it.
   virtual bool needs_packed_weights() const = 0;
 
+  // Weight-pack lifecycle, in backend-agnostic terms. A backend that reads
+  // a derived weight structure (the float event pack, the quantized pack)
+  // overrides these four so sessions and the model registry manage "whatever
+  // this backend runs on" without knowing which pack that is. The defaults
+  // route through needs_packed_weights() and the float pack, so existing
+  // backends are unchanged.
+  //
+  // Builds the backend's pack on `net` if missing (called before fan-out;
+  // must be safe for concurrent const callers, like ensure_packed).
+  virtual void ensure_ready(const SnnNetwork& net) const {
+    if (needs_packed_weights()) net.ensure_packed();
+  }
+  // True when this backend keeps a releasable pack resident on the network
+  // (registries only count/evict packs for such backends).
+  virtual bool has_resident_pack() const { return needs_packed_weights(); }
+  // Resident bytes of this backend's pack on `net` (0 while unbuilt).
+  virtual std::size_t resident_pack_bytes(const SnnNetwork& net) const {
+    return needs_packed_weights() ? net.packed_bytes() : 0;
+  }
+  // Releases this backend's pack (the registry's cold-eviction primitive;
+  // same caller contract as SnnNetwork::release_packed).
+  virtual void release_pack(const SnnNetwork& net) const {
+    if (needs_packed_weights()) net.release_packed();
+  }
+
   // Runs sample `i` of `batch` through `net`, filling the requested slots.
   // `arena` is this worker's session-owned scratch (unused scratch for
   // backends with uses_arena() == false).
@@ -186,6 +212,38 @@ class EventSimBackend final : public InferenceBackend {
   bool needs_packed_weights() const override { return true; }
   void run_sample(const SnnNetwork& net, const BatchView& batch, std::int64_t i, SimArena& arena,
                   const SampleSlots& slots) const override;
+};
+
+// The fixed-point integer simulator (quant.h): same event-by-event loop as
+// EventSimBackend, but every membrane add is the LogPe shift-add product into
+// a saturating int32 accumulator over the int16 quantized weight pack.
+// Requires a log-quantized network (ensure_ready throws otherwise). Integer
+// artifacts — spike maps, op counts, encoder cycles — match the float event
+// sim exactly on converted nets; logits carry the fixed-point rounding bound
+// documented in README ("Quantized inference"). Does not read the float pack
+// (needs_packed_weights is false), so a registry serving this backend keeps
+// only the ~2x-smaller quantized pack resident.
+class QuantizedEventSimBackend final : public InferenceBackend {
+ public:
+  explicit QuantizedEventSimBackend(QuantPackConfig config = {}) : config_{config} {}
+
+  std::string name() const override { return "quantized"; }
+  bool supports_traces() const override { return true; }
+  bool uses_arena() const override { return true; }
+  bool needs_packed_weights() const override { return false; }
+  void ensure_ready(const SnnNetwork& net) const override { net.ensure_quantized(config_); }
+  bool has_resident_pack() const override { return true; }
+  std::size_t resident_pack_bytes(const SnnNetwork& net) const override {
+    return net.quantized_bytes();
+  }
+  void release_pack(const SnnNetwork& net) const override { net.release_quantized(); }
+  void run_sample(const SnnNetwork& net, const BatchView& batch, std::int64_t i, SimArena& arena,
+                  const SampleSlots& slots) const override;
+
+  const QuantPackConfig& config() const { return config_; }
+
+ private:
+  QuantPackConfig config_;
 };
 
 // The frozen pre-overhaul simulator (event_sim_reference.h) behind the same

@@ -24,18 +24,15 @@ std::int64_t EventTrace::total_integration_ops() const {
 
 float* SimArena::acc(std::int64_t n) { return acc_.ensure(n); }
 
+std::int32_t* SimArena::qacc(std::int64_t n) { return qacc_.ensure(n); }
+
 int* SimArena::steps(std::int64_t n) { return steps_.ensure(n); }
 
 int* SimArena::grid(std::int64_t n) { return grid_.ensure(n); }
 
 std::int64_t* SimArena::counts(std::int64_t n) { return counts_.ensure(n); }
 
-namespace {
-
-struct Shape3 {
-  std::int64_t c = 0, h = 0, w = 0;
-  std::int64_t numel() const { return c * h * w; }
-};
+namespace detail {
 
 // Scatters the fire steps recorded in `steps` (CHW neuron order, kNoSpike for
 // silent neurons) into `out.spikes` via the per-timestep histogram in
@@ -62,6 +59,59 @@ void scatter_buckets(const int* steps, std::int64_t n, std::int64_t* counts, int
   out.encoder_cycles = window + total;
 }
 
+// Earliest-spike-wins pooling: pass through the minimum fire step of each
+// window, building a step grid from the incoming spikes first. Shared by the
+// float and quantized simulators — pooling is pure spike bookkeeping, so
+// both paths agree on it by construction.
+LayerEventTrace pool_layer(const SnnPool& pool, const std::vector<Spike>& in_spikes,
+                           std::int64_t c, std::int64_t h, std::int64_t w, int window,
+                           SimArena& arena) {
+  const std::int64_t oh = (h - pool.kernel) / pool.stride + 1;
+  const std::int64_t ow = (w - pool.kernel) / pool.stride + 1;
+  TTFS_CHECK(oh > 0 && ow > 0);
+
+  int* grid = arena.grid(c * h * w);
+  std::fill(grid, grid + c * h * w, kNoSpike);
+  for (const Spike& s : in_spikes) grid[s.neuron] = s.step;
+
+  // Output steps in CHW order, then bucket like a fire phase (minus the
+  // encoder-cycle cost: pooling is free in the spike domain).
+  const std::int64_t out_n = c * oh * ow;
+  int* steps = arena.steps(out_n);
+  std::int64_t* counts = arena.counts(window);
+  std::fill(counts, counts + window, 0);
+  for (std::int64_t ci = 0; ci < c; ++ci) {
+    for (std::int64_t oy = 0; oy < oh; ++oy) {
+      for (std::int64_t ox = 0; ox < ow; ++ox) {
+        int best = kNoSpike;
+        for (std::int64_t ky = 0; ky < pool.kernel; ++ky) {
+          for (std::int64_t kx = 0; kx < pool.kernel; ++kx) {
+            const std::int64_t iy = oy * pool.stride + ky;
+            const std::int64_t ix = ox * pool.stride + kx;
+            const int s = grid[(ci * h + iy) * w + ix];
+            if (s != kNoSpike && (best == kNoSpike || s < best)) best = s;
+          }
+        }
+        steps[(ci * oh + oy) * ow + ox] = best;
+        if (best != kNoSpike) ++counts[best];
+      }
+    }
+  }
+  LayerEventTrace lt;
+  scatter_buckets(steps, out_n, counts, window, lt);
+  lt.encoder_cycles = 0;  // pools reshuffle spikes, no encoder pass
+  return lt;
+}
+
+}  // namespace detail
+
+namespace {
+
+struct Shape3 {
+  std::int64_t c = 0, h = 0, w = 0;
+  std::int64_t numel() const { return c * h * w; }
+};
+
 // Fire phase over a dense membrane span in CHW (= neuron) order. Implements
 // the encoder loop of Sec. 4 — one threshold per timestep, ready neurons
 // serialized through a priority encoder — by binning neurons into timestep
@@ -78,7 +128,7 @@ void fire_dense(const ThresholdLut& lut, const T* vmem, std::int64_t n, SimArena
     steps[i] = k;
     if (k != kNoSpike) ++counts[k];
   }
-  scatter_buckets(steps, n, counts, window, out);
+  detail::scatter_buckets(steps, n, counts, window, out);
 }
 
 // Fire phase over the conv integration accumulator, which is stored HWC with
@@ -101,7 +151,7 @@ void fire_hwc(const ThresholdLut& lut, const float* acc, std::int64_t cout,
       if (k != kNoSpike) ++counts[k];
     }
   }
-  scatter_buckets(steps, n, counts, window, out);
+  detail::scatter_buckets(steps, n, counts, window, out);
 }
 
 // Whether the intra-sample split is worth waking the pool for: a rough
@@ -272,42 +322,8 @@ EventTrace run_event_sim_view(const SnnNetwork& net, const float* image, Shape3 
       const auto& pool = std::get<SnnPool>(layer);
       const std::int64_t oh = (cur.h - pool.kernel) / pool.stride + 1;
       const std::int64_t ow = (cur.w - pool.kernel) / pool.stride + 1;
-      TTFS_CHECK(oh > 0 && ow > 0);
-
-      // Earliest-spike-wins pooling: pass through the minimum fire step of
-      // each window. Build a step grid from the incoming spikes first.
-      int* grid = arena.grid(cur.numel());
-      std::fill(grid, grid + cur.numel(), kNoSpike);
-      for (const Spike& s : *in_spikes) grid[s.neuron] = s.step;
-
-      // Output steps in CHW order, then bucket like a fire phase (minus the
-      // encoder-cycle cost: pooling is free in the spike domain).
-      const std::int64_t out_n = cur.c * oh * ow;
-      const int window = lut.window();
-      int* steps = arena.steps(out_n);
-      std::int64_t* counts = arena.counts(window);
-      std::fill(counts, counts + window, 0);
-      for (std::int64_t c = 0; c < cur.c; ++c) {
-        for (std::int64_t oy = 0; oy < oh; ++oy) {
-          for (std::int64_t ox = 0; ox < ow; ++ox) {
-            int best = kNoSpike;
-            for (std::int64_t ky = 0; ky < pool.kernel; ++ky) {
-              for (std::int64_t kx = 0; kx < pool.kernel; ++kx) {
-                const std::int64_t iy = oy * pool.stride + ky;
-                const std::int64_t ix = ox * pool.stride + kx;
-                const int s = grid[(c * cur.h + iy) * cur.w + ix];
-                if (s != kNoSpike && (best == kNoSpike || s < best)) best = s;
-              }
-            }
-            steps[(c * oh + oy) * ow + ox] = best;
-            if (best != kNoSpike) ++counts[best];
-          }
-        }
-      }
-      LayerEventTrace lt;
-      scatter_buckets(steps, out_n, counts, window, lt);
-      lt.encoder_cycles = 0;  // pools reshuffle spikes, no encoder pass
-      trace.layers.push_back(std::move(lt));
+      trace.layers.push_back(
+          detail::pool_layer(pool, *in_spikes, cur.c, cur.h, cur.w, lut.window(), arena));
       in_spikes = &trace.layers.back().spikes;
       cur = {cur.c, oh, ow};
     }
@@ -323,6 +339,11 @@ namespace detail {
 EventTrace run_event_sim_span(const SnnNetwork& net, const float* image, std::int64_t c,
                               std::int64_t h, std::int64_t w, SimArena& arena) {
   return run_event_sim_view(net, image, {c, h, w}, arena);
+}
+
+void fire_span(const ThresholdLut& lut, const float* vmem, std::int64_t n, SimArena& arena,
+               LayerEventTrace& out) {
+  fire_dense(lut, vmem, n, arena, out);
 }
 
 }  // namespace detail

@@ -158,6 +158,61 @@ std::int64_t integrate_fc_impl(std::int64_t out, std::int64_t ostride, const flo
   return ops;
 }
 
+// --- Quantized (fixed-point) integration --------------------------------------
+//
+// One synaptic product in accumulator LSBs: the LogPe datapath (exponent add,
+// 2^f-entry LUT read, barrel shift with round-to-nearest) for weight code q
+// and a spike at `step`. Mirrors cat::LogPe::accumulate exactly — asserted
+// add-for-add in tests/snn_quant_test.cpp — so traces from these kernels
+// co-simulate against hw/processor with no drift.
+inline std::int64_t quant_product(const QuantKernelParams& qp, int q, int step) {
+  const std::int32_t code = static_cast<std::int32_t>(q) * qp.wmul -
+                            static_cast<std::int32_t>(step) * qp.smul;
+  const std::int32_t mask = (1 << qp.frac_bits) - 1;
+  const std::int32_t int_part = code >> qp.frac_bits;  // floor division
+  const std::int64_t lut_value = qp.lut[static_cast<std::size_t>(code & mask)];
+  const int shift = int_part + qp.acc_frac_bits - qp.lut_bits;
+  if (shift >= 0) return lut_value << shift;
+  if (-shift < 63) {
+    // Round-to-nearest on the right shift (the hardware adds the dropped MSB).
+    return (lut_value + (std::int64_t{1} << (-shift - 1))) >> -shift;
+  }
+  return 0;
+}
+
+// Signed saturating add into the int32 membrane register: clamp to the
+// two's-complement range [-limit, limit - 1], like LogPe's Vmem model.
+inline void quant_add(std::int32_t& acc, std::int64_t add, std::int64_t limit) {
+  std::int64_t v = static_cast<std::int64_t>(acc) + add;
+  if (v > limit - 1) v = limit - 1;
+  if (v < -limit) v = -limit;
+  acc = static_cast<std::int32_t>(v);
+}
+
+// Per-timestep-group product table over the layer's code range: the inner
+// loops then run pure table-indexed adds, one entry per distinct q — the
+// software analog of the PE evaluating each exponent sum once per threshold
+// step. Bounded at kMaxQuantCodes (simd.h); the pack build caps the range.
+inline void fill_quant_table(const QuantKernelParams& qp, int step, std::int64_t* table) {
+  for (int q = qp.q_lo; q <= qp.q_hi; ++q) {
+    table[q - qp.q_lo] = quant_product(qp, q, step);
+  }
+}
+
+// Applies one weight-code span to one accumulator span: the integer analog of
+// tap_axpy. Codes are sign+q pairs (code = q*2 + negbit); kQuantZeroCode
+// lanes (zero weights, padding) contribute nothing, exactly like the float
+// pack's 0.0 weights.
+inline void quant_span_add(std::int32_t* acc, const std::int16_t* codes, std::int64_t n,
+                           const std::int64_t* table, int q_lo, std::int64_t limit) {
+  for (std::int64_t i = 0; i < n; ++i) {
+    const std::int16_t c = codes[i];
+    if (c == kQuantZeroCode) continue;
+    const std::int64_t add = table[(c >> 1) - q_lo];  // arithmetic shift: q
+    quant_add(acc[i], (c & 1) != 0 ? -add : add, limit);
+  }
+}
+
 }  // namespace
 
 bool simd_active() {
@@ -222,6 +277,93 @@ std::int64_t integrate_fc(std::int64_t out, std::int64_t ostride, const float* w
     return integrate_fc_impl<true>(out, ostride, w, spikes, nspikes, lut, acc, j0, j1);
   }
   return integrate_fc_impl<false>(out, ostride, w, spikes, nspikes, lut, acc, j0, j1);
+}
+
+std::int64_t integrate_conv_q(const ConvGeom& g, const std::int16_t* w, const Spike* spikes,
+                              std::int64_t nspikes, const QuantKernelParams& qp,
+                              std::int32_t* acc, std::int64_t yo0, std::int64_t yo1) {
+  // Same cache blocking as integrate_conv: int32 accumulator rows are the
+  // same width as float rows, so the tiles match the float path exactly and
+  // the per-accumulator add order is identical (order only matters here
+  // because each add saturates).
+  const std::int64_t row_bytes =
+      g.ow * g.cstride * static_cast<std::int64_t>(sizeof(std::int32_t));
+  std::int64_t block_rows = yo1 - yo0;
+  if (row_bytes > 0) {
+    const std::int64_t budget = acc_block_bytes() / row_bytes;
+    block_rows = std::max<std::int64_t>(1, std::min(block_rows, budget));
+  }
+
+  std::int64_t table[kMaxQuantCodes];
+  const std::int64_t plane = g.hin * g.win;
+  std::int64_t ops = 0;
+  for (std::int64_t b0 = yo0; b0 < yo1; b0 += block_rows) {
+    const std::int64_t b1 = std::min(yo1, b0 + block_rows);
+    for (std::int64_t si = 0; si < nspikes;) {
+      const int step = spikes[si].step;
+      std::int64_t se = si;
+      while (se < nspikes && spikes[se].step == step) ++se;
+      // One product per distinct weight code per timestep group — the
+      // quantized analog of the float path's one level() per group.
+      fill_quant_table(qp, step, table);
+      for (std::int64_t s = si; s < se; ++s) {
+        const std::int64_t neuron = spikes[s].neuron;
+        const std::int64_t ci = neuron / plane;
+        const std::int64_t yi = (neuron / g.win) % g.hin;
+        const std::int64_t xi = neuron % g.win;
+        const std::int16_t* wslots = w + ci * g.kh * g.kw * g.cstride;
+        for (std::int64_t ky = 0; ky < g.kh; ++ky) {
+          const std::int64_t ynum = yi + g.pad - ky;
+          if (ynum < 0 || ynum % g.stride != 0) continue;
+          const std::int64_t yo = ynum / g.stride;
+          if (yo < b0 || yo >= b1) continue;
+          for (std::int64_t kx = 0; kx < g.kw; ++kx) {
+            const std::int64_t xnum = xi + g.pad - kx;
+            if (xnum < 0 || xnum % g.stride != 0) continue;
+            const std::int64_t xo = xnum / g.stride;
+            if (xo >= g.ow) continue;
+            quant_span_add(acc + (yo * g.ow + xo) * g.cstride,
+                           wslots + (ky * g.kw + kx) * g.cstride, g.cout, table, qp.q_lo,
+                           qp.acc_limit);
+            ops += g.cout;  // same accounting as the float kernel
+          }
+        }
+      }
+      si = se;
+    }
+  }
+  return ops;
+}
+
+std::int64_t integrate_fc_q(std::int64_t out, std::int64_t ostride, const std::int16_t* w,
+                            const Spike* spikes, std::int64_t nspikes,
+                            const QuantKernelParams& qp, std::int32_t* acc, std::int64_t j0,
+                            std::int64_t j1) {
+  std::int64_t block =
+      acc_block_bytes() / static_cast<std::int64_t>(sizeof(std::int32_t)) / kLaneFloats *
+      kLaneFloats;
+  block = std::max(block, kLaneFloats);
+
+  std::int64_t table[kMaxQuantCodes];
+  std::int64_t ops = 0;
+  for (std::int64_t b0 = j0; b0 < j1; b0 += block) {
+    const std::int64_t b1 = std::min(j1, b0 + block);
+    const std::int64_t real = std::max<std::int64_t>(
+        0, std::min(b1, out) - std::min(b0, out));
+    for (std::int64_t si = 0; si < nspikes;) {
+      const int step = spikes[si].step;
+      std::int64_t se = si;
+      while (se < nspikes && spikes[se].step == step) ++se;
+      fill_quant_table(qp, step, table);
+      for (std::int64_t s = si; s < se; ++s) {
+        const std::int16_t* col = w + static_cast<std::int64_t>(spikes[s].neuron) * ostride;
+        quant_span_add(acc + b0, col + b0, b1 - b0, table, qp.q_lo, qp.acc_limit);
+      }
+      si = se;
+    }
+    ops += real * nspikes;
+  }
+  return ops;
 }
 
 }  // namespace ttfs::snn::kernels

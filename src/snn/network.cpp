@@ -30,6 +30,7 @@ void SnnNetwork::add_conv(Tensor weight, Tensor bias, std::int64_t stride, std::
   if (!bias.empty()) TTFS_CHECK(bias.numel() == weight.dim(0));
   layers_.push_back(SnnConv{std::move(weight), std::move(bias), stride, pad});
   packed_dirty_ = true;
+  quantized_dirty_ = true;
 }
 
 void SnnNetwork::add_fc(Tensor weight, Tensor bias) {
@@ -37,12 +38,14 @@ void SnnNetwork::add_fc(Tensor weight, Tensor bias) {
   if (!bias.empty()) TTFS_CHECK(bias.numel() == weight.dim(0));
   layers_.push_back(SnnFc{std::move(weight), std::move(bias)});
   packed_dirty_ = true;
+  quantized_dirty_ = true;
 }
 
 void SnnNetwork::add_pool(std::int64_t kernel, std::int64_t stride) {
   TTFS_CHECK(kernel > 0 && stride > 0);
   layers_.push_back(SnnPool{kernel, stride});
   packed_dirty_ = true;
+  quantized_dirty_ = true;
 }
 
 void SnnNetwork::ensure_packed() const {

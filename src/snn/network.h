@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "snn/kernel.h"
+#include "snn/quant.h"
 #include "snn/simd.h"
 #include "tensor/tensor.h"
 
@@ -120,6 +121,8 @@ class SnnNetwork {
       layers_ = other.layers_;
       packed_.clear();
       packed_dirty_.store(true, std::memory_order_release);
+      quantized_ = QuantizedWeightPack{};
+      quantized_dirty_.store(true, std::memory_order_release);
     }
     return *this;
   }
@@ -130,6 +133,8 @@ class SnnNetwork {
       layers_ = std::move(other.layers_);
       packed_.clear();
       packed_dirty_.store(true, std::memory_order_release);
+      quantized_ = QuantizedWeightPack{};
+      quantized_dirty_.store(true, std::memory_order_release);
     }
     return *this;
   }
@@ -187,6 +192,7 @@ class SnnNetwork {
   // mutated net must call ensure_packed() once before fanning out).
   std::vector<SnnLayer>& mutable_layers() {
     packed_dirty_.store(true, std::memory_order_release);
+    quantized_dirty_.store(true, std::memory_order_release);
     return layers_;
   }
   std::size_t weighted_layer_count() const;
@@ -213,6 +219,21 @@ class SnnNetwork {
   void release_packed() const;
   const ThresholdLut& threshold_lut() const { return lut_; }
 
+  // Quantized-path pack (quant.h), managed exactly like the float pack: lazy
+  // double-checked build under the same pack_mu_, its own dirty flag, and the
+  // same release/rebuild contract for the model registry. Rebuilds when the
+  // layers were mutated OR the requested config differs from the resident
+  // pack's. Requires log-quantized weights (see build_quantized_pack).
+  void ensure_quantized(const QuantPackConfig& config) const;
+  // The resident pack; ensure_quantized must have built it (checked).
+  const QuantizedWeightPack& quantized_pack() const;
+  // Resident bytes of the quantized pack (codes + bias registers + LUT; 0
+  // while unbuilt/released). Taken under pack_mu_ like packed_bytes().
+  std::size_t quantized_bytes() const;
+  // Registry cold-eviction primitive for the quantized pack; same caller
+  // contract as release_packed().
+  void release_quantized() const;
+
   // Encodes raw values into a SpikeMap (the input generator's job).
   SpikeMap encode(const Tensor& values) const;
   // Decodes a SpikeMap back to kernel-level values with the given shape
@@ -229,6 +250,9 @@ class SnnNetwork {
   // state) already-packed case.
   mutable std::vector<PackedLayer> packed_;
   mutable std::atomic<bool> packed_dirty_{true};
+  // Quantized-path pack (quant.h), same lifecycle under the same mutex.
+  mutable QuantizedWeightPack quantized_;
+  mutable std::atomic<bool> quantized_dirty_{true};
   mutable std::mutex pack_mu_;
 };
 

@@ -38,9 +38,9 @@ ModelHandle::ModelHandle(std::string id, std::uint64_t version,
       net_{std::move(net)},
       backend_{std::move(backend)},
       input_shape_{std::move(input_shape)} {
-  // A backend that never reads the pack is permanently warm at zero bytes —
-  // there is nothing to cache or evict for it.
-  if (!backend_->needs_packed_weights()) warm_.store(true, std::memory_order_release);
+  // A backend with no resident pack (gemm, reference) is permanently warm at
+  // zero bytes — there is nothing to cache or evict for it.
+  if (!backend_->has_resident_pack()) warm_.store(true, std::memory_order_release);
 }
 
 ModelRegistry::ModelRegistry(RegistryOptions opts) : opts_{opts} {}
@@ -173,7 +173,7 @@ ModelRegistry::RunPin ModelRegistry::pin_for_run(
     // rebuild its pack off-budget so the drain completes bit-identically.
     // The pack dies with the handle, so nothing leaks past the drain.
     ++misses_;
-    handle->net().ensure_packed();
+    handle->backend().ensure_ready(handle->net());
     handle->warm_.store(true, std::memory_order_release);
   } else {
     ++hits_;
@@ -183,15 +183,17 @@ ModelRegistry::RunPin ModelRegistry::pin_for_run(
 
 void ModelRegistry::warm_locked(const ModelHandle& handle, bool count_miss) {
   if (count_miss) ++misses_;
-  handle.net().ensure_packed();
-  const std::size_t bytes = handle.net().packed_bytes();
+  // The backend decides what "warm" means for it: the float event pack, the
+  // quantized pack, or nothing at all.
+  handle.backend().ensure_ready(handle.net());
+  const std::size_t bytes = handle.backend().resident_pack_bytes(handle.net());
   handle.pack_bytes_.store(bytes, std::memory_order_release);
   handle.warm_.store(true, std::memory_order_release);
   warm_bytes_ += bytes;
 }
 
 void ModelRegistry::cool_locked(const ModelHandle& handle) {
-  handle.net().release_packed();
+  handle.backend().release_pack(handle.net());
   warm_bytes_ -= handle.pack_bytes();
   handle.pack_bytes_.store(0, std::memory_order_release);
   handle.warm_.store(false, std::memory_order_release);

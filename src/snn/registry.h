@@ -36,9 +36,12 @@
 // mid-batch. When warming pushes the resident total over budget, the
 // least-recently-used unpinned models are evicted (pack released, bytes
 // reclaimed) until the total fits; the pack rebuild on the next pin is
-// bit-identical, so eviction is invisible to results. Models whose backend
-// never reads the pack (needs_packed_weights() == false) are always "warm"
-// at zero bytes.
+// bit-identical, so eviction is invisible to results. "Pack" is whatever the
+// model's backend keeps resident (InferenceBackend::ensure_ready /
+// resident_pack_bytes / release_pack): the float event pack for the event
+// backend, the ~2x-smaller quantized pack for the quantized backend. Models
+// whose backend keeps no pack (has_resident_pack() == false) are always
+// "warm" at zero bytes.
 //
 // Thread safety: every member is safe to call from any thread. Run pins are
 // the only data-path cost: one mutex acquisition per *batch*, not per

@@ -187,5 +187,50 @@ std::int64_t integrate_fc(std::int64_t out, std::int64_t ostride, const float* w
                           const Spike* spikes, std::int64_t nspikes, const ThresholdLut& lut,
                           float* acc, std::int64_t j0, std::int64_t j1);
 
+// --- Quantized (fixed-point) integration kernels ---------------------------
+//
+// Integer variants of the two layer kernels for the quantized path (quant.h):
+// weights are int16 sign+exponent codes, the accumulator is a saturating
+// int32 fixed-point register, and each synaptic add is the cat::LogPe
+// LUT/barrel-shift product — bit-identical to LogPe::accumulate, so the
+// traces these kernels produce can be co-simulated against hw/processor
+// exactly. Scalar only (the shift-add datapath models the PE, and the scalar
+// lane is the conformance reference); same cache-blocked, timestep-grouped
+// loop structure and identical op accounting as the float kernels, so the
+// two paths emit identical spike orders and counters.
+
+// Upper bound on a layer's weight-code range q_hi - q_lo + 1: the kernels
+// table one product per distinct code per timestep group on the stack, so the
+// pack build rejects layers with a wider range (real log-quantized layers use
+// 2^(bits-1) - 1 < 16 codes; see cat/logquant.h).
+inline constexpr int kMaxQuantCodes = 256;
+
+// Fixed-point geometry of one integration call, derived from the pack
+// (quant.h) once per layer. All power-of-two scale factors are premultiplied.
+struct QuantKernelParams {
+  const std::int64_t* lut = nullptr;  // 2^frac_bits entries, lut_bits f.p.
+  int frac_bits = 0;      // f = max(p, z): exponent codes are units of 2^-f
+  int lut_bits = 0;       // fractional bits of each LUT entry
+  int acc_frac_bits = 0;  // fractional bits of the int32 accumulator
+  std::int64_t acc_limit = 0;  // 1 << (acc_int_bits + acc_frac_bits); the
+                               // accumulator saturates to [-limit, limit - 1]
+  int wmul = 0;  // 1 << (f - z): scales a weight code q to units of 2^-f
+  int smul = 0;  // 1 << (f - p): scales a spike step to units of 2^-f
+  int q_lo = 0, q_hi = 0;  // this layer's weight-code range (tabling bound)
+};
+
+// Conv counterpart of integrate_conv: `w` is the slot-major int16 code pack
+// (kQuantZeroCode lanes contribute nothing), `acc` the HWC int32 accumulator
+// at the same cstride. Identical tap geometry, blocking and op counting.
+std::int64_t integrate_conv_q(const ConvGeom& g, const std::int16_t* w, const Spike* spikes,
+                              std::int64_t nspikes, const QuantKernelParams& qp,
+                              std::int32_t* acc, std::int64_t yo0, std::int64_t yo1);
+
+// FC counterpart of integrate_fc over output columns [j0, j1).
+std::int64_t integrate_fc_q(std::int64_t out, std::int64_t ostride, const std::int16_t* w,
+                            const Spike* spikes, std::int64_t nspikes,
+                            const QuantKernelParams& qp, std::int32_t* acc, std::int64_t j0,
+                            std::int64_t j1);
+
 }  // namespace kernels
 }  // namespace ttfs::snn

@@ -22,6 +22,10 @@ double LatencyHistogram::bucket_floor(std::size_t i) const {
 }
 
 void LatencyHistogram::record(double value) {
+  // Latencies are nonnegative by construction; a negative (or NaN) sample
+  // would land in bucket 0 like a tiny latency while still dragging sum_ and
+  // mean() off. Clamp it to zero so bucket placement and the exact mean agree.
+  if (!(value > 0.0)) value = 0.0;
   std::size_t i = 0;
   if (value > min_value_) {
     i = static_cast<std::size_t>(std::log(value / min_value_) * inv_log_growth_);
@@ -45,18 +49,27 @@ double LatencyHistogram::quantile(double q) const {
       std::max<std::uint64_t>(1, static_cast<std::uint64_t>(
                                      std::ceil(q * static_cast<double>(total_))));
   std::uint64_t seen = 0;
+  std::size_t last_nonempty = 0;
   for (std::size_t i = 0; i < buckets_.size(); ++i) {
     if (buckets_[i] == 0) continue;
+    last_nonempty = i;
     if (seen + buckets_[i] >= rank) {
-      // Interpolate inside [floor, ceil) by the rank's position in the bucket.
+      // Midpoint-interpolate inside [floor, ceil): the k-th of n samples in
+      // the bucket sits at fraction (k - 0.5) / n, which stays strictly
+      // inside the bucket. The old (rank - seen) / n form reached 1.0 at the
+      // bucket's last sample, so p100 returned the bucket *ceiling* — a value
+      // larger than everything actually recorded.
       const double lo = bucket_floor(i);
       const double hi = bucket_floor(i + 1);
-      const double frac = static_cast<double>(rank - seen) / static_cast<double>(buckets_[i]);
+      const double frac = (static_cast<double>(rank - seen) - 0.5) /
+                          static_cast<double>(buckets_[i]);
       return lo + (hi - lo) * frac;
     }
     seen += buckets_[i];
   }
-  return bucket_floor(buckets_.size());  // unreachable if counts are consistent
+  // Unreachable if counts are consistent; stay inside the recorded range
+  // rather than indexing one past the last bucket.
+  return bucket_floor(last_nonempty);
 }
 
 void LatencyHistogram::reset() {

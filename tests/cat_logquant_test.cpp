@@ -219,6 +219,39 @@ TEST(LogPe, AccumulatorSaturates) {
   EXPECT_NEAR(pe.membrane(), -16.0, 1e-6);
 }
 
+TEST(LogPe, SaturationClampsToTwosComplementRegisterRange) {
+  // An N-bit signed Vmem register holds [-2^(N-1), 2^(N-1) - 1] LSBs; the
+  // positive rail is one LSB BELOW the power of two. The pre-fix clamp used
+  // +limit on both rails, overshooting the representable maximum by one LSB.
+  LogPeConfig cfg;
+  cfg.acc_int_bits = 4;  // limit = 2^(4 + acc_frac_bits) LSBs = +-16.0
+  LogPe pe{cfg};
+  for (int i = 0; i < 64; ++i) pe.accumulate(1, 0, 0);
+  // Exactly limit - 1 LSBs: 16.0 - 2^-acc_frac_bits, not 16.0.
+  EXPECT_DOUBLE_EQ(pe.membrane(), 16.0 - std::exp2(-cfg.acc_frac_bits));
+  pe.reset();
+  for (int i = 0; i < 64; ++i) pe.accumulate(-1, 0, 0);
+  // The negative rail is the full -limit.
+  EXPECT_DOUBLE_EQ(pe.membrane(), -16.0);
+}
+
+TEST(LogPe, RejectsOverwideAccumulator) {
+  // acc_int_bits + acc_frac_bits == 63 would shift 1 into the sign bit of the
+  // int64 limit (undefined behaviour pre-fix); the config must be rejected
+  // at construction, as must a zero-width integer part.
+  LogPeConfig cfg;
+  cfg.acc_int_bits = 43;
+  cfg.acc_frac_bits = 20;  // 63 bits total
+  EXPECT_THROW(LogPe{cfg}, std::invalid_argument);
+  LogPeConfig cfg2;
+  cfg2.acc_int_bits = 0;
+  EXPECT_THROW(LogPe{cfg2}, std::invalid_argument);
+  LogPeConfig ok;
+  ok.acc_int_bits = 42;
+  ok.acc_frac_bits = 20;  // 62 bits: the widest supported register
+  EXPECT_NO_THROW(LogPe{ok});
+}
+
 TEST(LogPe, RejectsBadConfig) {
   LogPeConfig cfg;
   cfg.p = -1;

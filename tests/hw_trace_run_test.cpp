@@ -2,9 +2,11 @@
 // agree when the analytic model is fed the measured activity profile.
 #include <gtest/gtest.h>
 
+#include "cat/logquant.h"
 #include "hw/activity.h"
 #include "hw/trace_run.h"
 #include "hw/workload.h"
+#include "snn/engine.h"
 #include "snn/network.h"
 #include "util/rng.h"
 
@@ -82,6 +84,44 @@ TEST(TraceRun, AgreesWithAnalyticModelUnderMeasuredActivity) {
   EXPECT_NEAR(static_cast<double>(traced.total_cycles) /
                   static_cast<double>(analytic.total_cycles),
               1.0, 0.4);
+}
+
+TEST(TraceRun, QuantizedBackendPricesIdenticallyToEventSim) {
+  // The quantized backend's integer artifacts (spikes, SOPs, cycles) must
+  // match the float event sim exactly on a log-quantized network, so the
+  // processor co-sim prices both traces to the same report — the property
+  // that lets hardware studies run on the int16 pack interchangeably.
+  Rng rng{403};
+  snn::SnnNetwork net = make_net(rng);
+  cat::log_quantize_network(net, cat::LogQuantConfig{});
+  const Tensor img = random_tensor({3, 12, 12}, rng, 0.0F, 1.0F);
+
+  const snn::Engine engine{net};
+  snn::RunOptions opts;
+  opts.traces = true;
+  snn::InferenceSession event = engine.session(snn::BackendKind::kEventSim);
+  snn::InferenceSession quant = engine.session(snn::BackendKind::kQuantized);
+  const std::vector<const Tensor*> batch{&img};
+  const snn::RunResult event_run = event.run(snn::BatchView{batch}, opts);
+  const snn::RunResult quant_run = quant.run(snn::BatchView{batch}, opts);
+  ASSERT_EQ(event_run.traces.size(), 1U);
+  ASSERT_EQ(quant_run.traces.size(), 1U);
+
+  ArchConfig arch;
+  arch.window = 24;
+  const SnnProcessorModel model{arch, default_tech()};
+  const ProcessorReport a = price_trace(model, net, event_run.traces[0], 12, 12);
+  const ProcessorReport b = price_trace(model, net, quant_run.traces[0], 12, 12);
+
+  ASSERT_EQ(a.layers.size(), b.layers.size());
+  for (std::size_t l = 0; l < a.layers.size(); ++l) {
+    EXPECT_EQ(a.layers[l].in_spikes, b.layers[l].in_spikes) << "layer " << l;
+    EXPECT_EQ(a.layers[l].sops, b.layers[l].sops) << "layer " << l;
+    EXPECT_EQ(a.layers[l].cycles, b.layers[l].cycles) << "layer " << l;
+  }
+  EXPECT_EQ(a.total_cycles, b.total_cycles);
+  EXPECT_EQ(a.energy_per_image_uj(), b.energy_per_image_uj());
+  EXPECT_EQ(a.fps, b.fps);
 }
 
 TEST(TraceRun, SilentNetworkCostsLittle) {

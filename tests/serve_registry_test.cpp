@@ -13,6 +13,7 @@
 #include <utility>
 #include <vector>
 
+#include "cat/logquant.h"
 #include "serve/server.h"
 #include "snn/engine.h"
 #include "snn/network.h"
@@ -225,6 +226,63 @@ TEST(ModelRegistry, PackFreeBackendIsAlwaysWarmAtZeroBytes) {
   EXPECT_TRUE(handle->warm());
   EXPECT_EQ(registry.stats().warm_bytes, 0U);
   EXPECT_EQ(registry.stats().evictions, 0U);
+}
+
+TEST(ModelRegistry, QuantizedBackendShrinksWarmBytesAndEvictsCleanly) {
+  // The registry accounts whatever pack a model's backend keeps resident.
+  // The same log-quantized network loaded behind the quantized backend must
+  // cost <= 0.6x the float event pack (int16 codes vs float32 lanes), and
+  // eviction/rewarm must flow through the backend's release/ensure hooks.
+  Rng rng{77};
+  auto net = make_net_a(rng);
+  cat::log_quantize_network(*net, cat::LogQuantConfig{});
+
+  snn::ModelRegistry registry;
+  const auto h_float =
+      registry.load("float", net, snn::make_backend(snn::BackendKind::kEventSim), {3, 8, 8});
+  const auto h_quant =
+      registry.load("quant", net, snn::make_backend(snn::BackendKind::kQuantized), {3, 8, 8});
+  EXPECT_TRUE(h_float->warm());
+  EXPECT_TRUE(h_quant->warm());
+  const std::size_t float_bytes = h_float->pack_bytes();
+  const std::size_t quant_bytes = h_quant->pack_bytes();
+  ASSERT_GT(float_bytes, 0U);
+  ASSERT_GT(quant_bytes, 0U);
+  EXPECT_LE(static_cast<double>(quant_bytes), 0.6 * static_cast<double>(float_bytes))
+      << "quantized " << quant_bytes << " vs float " << float_bytes;
+  EXPECT_EQ(registry.stats().warm_bytes, float_bytes + quant_bytes);
+
+  // A budget that fits only the quantized pack: warming it as MRU must evict
+  // the float model's pack via InferenceBackend::release_pack.
+  snn::RegistryOptions tight;
+  tight.max_pack_bytes = quant_bytes;
+  snn::ModelRegistry small{tight};
+  const auto h_f2 =
+      small.load("float", net, snn::make_backend(snn::BackendKind::kEventSim), {3, 8, 8});
+  const auto h_q2 =
+      small.load("quant", net, snn::make_backend(snn::BackendKind::kQuantized), {3, 8, 8});
+  EXPECT_FALSE(h_f2->warm());
+  EXPECT_TRUE(h_q2->warm());
+  EXPECT_EQ(small.stats().warm_bytes, quant_bytes);
+  EXPECT_GE(small.stats().evictions, 1U);
+
+  // Re-pinning the evicted float model rewarms through ensure_ready and
+  // evicts the quantized pack in turn; both models keep serving correctly.
+  {
+    const auto pin = small.pin_for_run(h_f2);
+    EXPECT_TRUE(h_f2->warm());
+    EXPECT_FALSE(h_q2->warm());
+  }
+  {
+    const auto pin = small.pin_for_run(h_q2);
+    EXPECT_TRUE(h_q2->warm());
+    snn::InferenceSession session{h_q2->net(), h_q2->backend_ptr()};
+    const Tensor img = random_tensor({3, 8, 8}, rng, 0.0F, 1.0F);
+    snn::RunOptions ropts;
+    ropts.logits = true;
+    const snn::RunResult run = session.run(snn::BatchView{std::vector<const Tensor*>{&img}}, ropts);
+    EXPECT_EQ(run.logits.numel(), 10);
+  }
 }
 
 // --- Registry-fronted SnnServer ---

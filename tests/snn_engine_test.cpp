@@ -19,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "cat/logquant.h"
 #include "snn/engine.h"
 #include "snn/event_sim.h"
 #include "snn/event_sim_reference.h"
@@ -397,9 +398,202 @@ TEST_F(SnnEngineConformance, LegacyWrappersStillMatchGoldens) {
   expect_stats_equal(total, as_result.merged_stats(), "classify aggregate");
 }
 
+// ---------------------------------------------------------------------------
+// Quantized backend conformance.
+//
+// The quantized backend runs the SAME log-quantized network as the float
+// event sim, so the comparison is apples-to-apples: every weight is already
+// sign * 2^(q * 2^-z), and the two paths differ only in arithmetic — float
+// adds vs LogPe shift-adds into a fixed-point accumulator.
+//
+// Integer artifacts (spikes, neuron counts, integration ops, encoder cycles,
+// stats, predictions) must agree EXACTLY: firing compares the membrane
+// against power-of-two thresholds, and at lut_bits = acc_frac_bits = 24 the
+// per-add rounding (~6e-8) never crosses a threshold for this golden batch —
+// the same exactness the hw/processor co-sim relies on.
+//
+// Logits carry the rounding, bounded per output by
+//   |quant - float| <= (n_adds + 1) * (2^-lut_bits * max|w * theta|
+//                                      + 2^-acc_frac_bits)
+// (one LUT-entry rounding, relative, plus one shift-out rounding, absolute,
+// per synaptic add and bias). For this net the fc output dominates:
+// n_adds <= 128 + 1, products < 0.5, so the bound is ~1.3e-5; the float sim
+// contributes a comparable float32 accumulation term. 1e-4 gives 4x headroom.
+constexpr double kQuantLogitTol = 1e-4;
+
+void expect_rows_close(const Tensor& got, const Tensor& want, const std::string& what) {
+  ASSERT_EQ(got.numel(), want.numel()) << what;
+  for (std::int64_t j = 0; j < want.numel(); ++j) {
+    EXPECT_NEAR(got[j], want[j], kQuantLogitTol) << what << " logit " << j;
+  }
+}
+
+// Trace equality for the quantized backend: integer artifacts exact against
+// the float event trace, logits within the fixed-point tolerance.
+void expect_traces_match_quantized(const snn::EventTrace& got, const snn::EventTrace& want,
+                                   const std::string& what) {
+  ASSERT_EQ(got.layers.size(), want.layers.size()) << what;
+  for (std::size_t l = 0; l < want.layers.size(); ++l) {
+    ASSERT_EQ(got.layers[l].spikes.size(), want.layers[l].spikes.size()) << what << " layer " << l;
+    for (std::size_t s = 0; s < want.layers[l].spikes.size(); ++s) {
+      EXPECT_EQ(got.layers[l].spikes[s].neuron, want.layers[l].spikes[s].neuron)
+          << what << " layer " << l << " spike " << s;
+      EXPECT_EQ(got.layers[l].spikes[s].step, want.layers[l].spikes[s].step)
+          << what << " layer " << l << " spike " << s;
+    }
+    EXPECT_EQ(got.layers[l].neuron_count, want.layers[l].neuron_count) << what << " layer " << l;
+    EXPECT_EQ(got.layers[l].integration_ops, want.layers[l].integration_ops)
+        << what << " layer " << l;
+    EXPECT_EQ(got.layers[l].encoder_cycles, want.layers[l].encoder_cycles)
+        << what << " layer " << l;
+  }
+  expect_rows_close(got.logits, want.logits, what);
+}
+
+// Same shape as SnnEngineConformance, but the network is log-quantized and
+// the goldens (forward stats, float event traces) are rebuilt on it.
+class SnnEngineQuantizedConformance : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    Rng rng{501};
+    snn::SnnNetwork net = make_net(rng);
+    cat::log_quantize_network(net, cat::LogQuantConfig{});
+    net_ = new snn::SnnNetwork{std::move(net)};
+    images_ = new std::vector<Tensor>{make_images(rng, kMaxBatch, {3, 8, 8})};
+    goldens_ = new std::vector<SampleGolden>{make_goldens(*net_, *images_)};
+  }
+  static void TearDownTestSuite() {
+    delete goldens_;
+    delete images_;
+    delete net_;
+    goldens_ = nullptr;
+    images_ = nullptr;
+    net_ = nullptr;
+  }
+
+  static const snn::SnnNetwork& net() { return *net_; }
+  static const std::vector<Tensor>& images() { return *images_; }
+  static const std::vector<SampleGolden>& goldens() { return *goldens_; }
+
+ private:
+  static const snn::SnnNetwork* net_;
+  static const std::vector<Tensor>* images_;
+  static const std::vector<SampleGolden>* goldens_;
+};
+
+const snn::SnnNetwork* SnnEngineQuantizedConformance::net_ = nullptr;
+const std::vector<Tensor>* SnnEngineQuantizedConformance::images_ = nullptr;
+const std::vector<SampleGolden>* SnnEngineQuantizedConformance::goldens_ = nullptr;
+
+// The quantized acceptance matrix: batch sizes {1, 7, 32} × every RunOptions
+// combination against float-event-sim goldens on the quantized net.
+TEST_F(SnnEngineQuantizedConformance, MatchesEventSimAcrossBatchAndOptions) {
+  const snn::Engine engine{net()};
+  snn::InferenceSession session = engine.session(snn::BackendKind::kQuantized);
+  EXPECT_EQ(session.backend().name(), "quantized");
+  EXPECT_TRUE(session.backend().supports_traces());
+  for (const std::int64_t n : {std::int64_t{1}, std::int64_t{7}, kMaxBatch}) {
+    const std::vector<const Tensor*> batch = gather(images(), n);
+    for (int mask = 0; mask < 32; ++mask) {
+      snn::RunOptions opts;
+      opts.logits = (mask & 1) != 0;
+      opts.predictions = (mask & 2) != 0;
+      opts.stats = (mask & 4) != 0;
+      opts.traces = (mask & 8) != 0;
+      opts.logit_rows = (mask & 16) != 0;
+      const std::string what = "quantized n=" + std::to_string(n) + " mask=" +
+                               std::to_string(mask);
+      const snn::RunResult run = session.run(snn::BatchView{batch}, opts);
+
+      if (opts.logits) {
+        ASSERT_EQ(run.logits.dim(0), n) << what;
+        for (std::int64_t i = 0; i < n; ++i) {
+          expect_rows_close(run.logits.slice0(i, 1), goldens()[static_cast<std::size_t>(i)].event.logits,
+                            what + " sample " + std::to_string(i));
+        }
+      } else {
+        EXPECT_TRUE(run.logits.empty()) << what;
+      }
+      if (opts.logit_rows) {
+        ASSERT_EQ(run.logit_rows.size(), static_cast<std::size_t>(n)) << what;
+        for (std::int64_t i = 0; i < n; ++i) {
+          expect_rows_close(run.logit_rows[static_cast<std::size_t>(i)],
+                            goldens()[static_cast<std::size_t>(i)].event.logits,
+                            what + " row " + std::to_string(i));
+        }
+      } else {
+        EXPECT_TRUE(run.logit_rows.empty()) << what;
+      }
+      if (opts.predictions) {
+        // Integer artifact: must agree with the float backends exactly.
+        ASSERT_EQ(run.predicted.size(), static_cast<std::size_t>(n)) << what;
+        for (std::int64_t i = 0; i < n; ++i) {
+          EXPECT_EQ(run.predicted[static_cast<std::size_t>(i)],
+                    argmax(goldens()[static_cast<std::size_t>(i)].gemm_logits))
+              << what << " sample " << i;
+        }
+      } else {
+        EXPECT_TRUE(run.predicted.empty()) << what;
+      }
+      if (opts.stats) {
+        ASSERT_EQ(run.stats.size(), static_cast<std::size_t>(n)) << what;
+        for (std::int64_t i = 0; i < n; ++i) {
+          expect_stats_equal(run.stats[static_cast<std::size_t>(i)],
+                             goldens()[static_cast<std::size_t>(i)].stats,
+                             what + " sample " + std::to_string(i));
+        }
+      } else {
+        EXPECT_TRUE(run.stats.empty()) << what;
+      }
+      if (opts.traces) {
+        ASSERT_EQ(run.traces.size(), static_cast<std::size_t>(n)) << what;
+        for (std::int64_t i = 0; i < n; ++i) {
+          expect_traces_match_quantized(run.traces[static_cast<std::size_t>(i)],
+                                        goldens()[static_cast<std::size_t>(i)].event,
+                                        what + " sample " + std::to_string(i));
+        }
+      } else {
+        EXPECT_TRUE(run.traces.empty()) << what;
+      }
+    }
+  }
+}
+
+// Both batch views go through the same integer path, so the quantized
+// backend owes BITWISE equality between them, not just tolerance.
+TEST_F(SnnEngineQuantizedConformance, NchwAndGatheredViewsAgreeBitwise) {
+  const std::int64_t n = 7;
+  Tensor nchw{{n, 3, 8, 8}};
+  for (std::int64_t i = 0; i < n; ++i) {
+    const Tensor& img = images()[static_cast<std::size_t>(i)];
+    std::copy(img.data(), img.data() + img.numel(), nchw.data() + i * img.numel());
+  }
+  const snn::Engine engine{net()};
+  snn::InferenceSession session = engine.session(snn::BackendKind::kQuantized);
+  snn::RunOptions opts;
+  opts.logits = true;
+  opts.predictions = true;
+  opts.stats = true;
+  opts.traces = true;
+  const snn::RunResult from_nchw = session.run(snn::BatchView{nchw}, opts);
+  const snn::RunResult from_gathered = session.run(snn::BatchView{gather(images(), n)}, opts);
+  expect_rows_equal(from_nchw.logits, from_gathered.logits, "quantized views");
+  EXPECT_EQ(from_nchw.predicted, from_gathered.predicted);
+  ASSERT_EQ(from_nchw.stats.size(), from_gathered.stats.size());
+  for (std::size_t i = 0; i < from_nchw.stats.size(); ++i) {
+    expect_stats_equal(from_nchw.stats[i], from_gathered.stats[i],
+                       "quantized views sample " + std::to_string(i));
+  }
+  ASSERT_EQ(from_nchw.traces.size(), from_gathered.traces.size());
+  for (std::size_t i = 0; i < from_nchw.traces.size(); ++i) {
+    expect_traces_identical(from_nchw.traces[i], from_gathered.traces[i],
+                            "quantized views trace " + std::to_string(i));
+  }
+}
+
 TEST(SnnEngine, BackendKindStringsRoundTrip) {
   for (const snn::BackendKind kind : {snn::BackendKind::kGemm, snn::BackendKind::kEventSim,
-                                      snn::BackendKind::kReference}) {
+                                      snn::BackendKind::kReference, snn::BackendKind::kQuantized}) {
     EXPECT_EQ(snn::backend_kind_from_string(snn::to_string(kind)), kind);
     EXPECT_EQ(snn::make_backend(kind)->name(), snn::to_string(kind));
   }

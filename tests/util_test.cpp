@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cmath>
 #include <fstream>
 #include <mutex>
 #include <set>
@@ -251,6 +252,37 @@ TEST(LatencyHistogram, OutOfRangeValuesClampToEdgeBuckets) {
   EXPECT_GE(h.quantile(0.99), 0.5);
   h.reset();
   EXPECT_EQ(h.count(), 0U);
+}
+
+TEST(LatencyHistogram, NonPositiveRecordsClampToZero) {
+  // A negative (or NaN) sample must count as a zero latency: it may not drag
+  // sum_ below the recorded mass, so the exact mean and the bucket placement
+  // tell the same story.
+  LatencyHistogram h;
+  h.record(-1.0);
+  h.record(std::nan(""));
+  h.record(0.004);
+  EXPECT_EQ(h.count(), 3U);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.004 / 3.0);
+  EXPECT_GE(h.quantile(0.0), 0.0);
+  EXPECT_GE(h.quantile(1.0), 0.0);
+}
+
+TEST(LatencyHistogram, QuantilesStayInsideTheOccupiedBucket) {
+  // All mass in one bucket: growth 2.0 puts 0.01 into [0.008, 0.016). Every
+  // quantile — p100 included — must interpolate strictly inside that bucket;
+  // the pre-fix interpolation reached fraction 1.0 at the bucket's last
+  // sample, so p100 returned the bucket *ceiling*, a latency larger than
+  // anything recorded.
+  LatencyHistogram h{1e-3, 1.0, 2.0};
+  for (int i = 0; i < 8; ++i) h.record(0.01);
+  const double lo = 0.008;
+  const double hi = 0.016;
+  for (const double q : {0.0, 0.5, 0.99, 1.0}) {
+    const double v = h.quantile(q);
+    EXPECT_GE(v, lo) << "q=" << q;
+    EXPECT_LT(v, hi) << "q=" << q;
+  }
 }
 
 TEST(Table, PrintAndCsv) {
