@@ -31,13 +31,13 @@ MicroBatcher::MicroBatcher(BatcherOptions opts) : opts_{opts} {
 PushOutcome MicroBatcher::push(PendingRequest& req, std::optional<PendingRequest>* shed) {
   if (shed != nullptr) shed->reset();
   {
-    std::unique_lock<std::mutex> lock{mu_};
+    util::MutexLock lock{mu_};
     if (full_locked() && !closed_) {
       switch (opts_.admission) {
         case AdmissionPolicy::kBlock:
           // Space frees on a pop, a cancel, or close(); closed_ is re-checked
           // below so a close during the wait rejects cleanly.
-          space_cv_.wait(lock, [this] { return closed_ || !full_locked(); });
+          while (!closed_ && full_locked()) space_cv_.wait(lock);
           break;
         case AdmissionPolicy::kRejectWhenFull:
           return PushOutcome::kRejectedFull;
@@ -100,7 +100,7 @@ std::vector<PendingRequest> MicroBatcher::take_locked(LaneMap::iterator lane) {
 }
 
 std::vector<PendingRequest> MicroBatcher::pop_batch() {
-  std::unique_lock<std::mutex> lock{mu_};
+  util::MutexLock lock{mu_};
   for (;;) {
     if (closed_) {
       // Drain mode: keep flushing per-model batches, oldest front first;
@@ -140,7 +140,7 @@ std::vector<PendingRequest> MicroBatcher::pop_batch() {
 std::optional<PendingRequest> MicroBatcher::cancel(std::uint64_t id) {
   std::optional<PendingRequest> removed;
   {
-    const std::lock_guard<std::mutex> lock{mu_};
+    const util::MutexLock lock{mu_};
     for (auto lane = lanes_.begin(); lane != lanes_.end(); ++lane) {
       Lane& queue = lane->second;
       const auto it = std::find_if(queue.begin(), queue.end(),
@@ -159,7 +159,7 @@ std::optional<PendingRequest> MicroBatcher::cancel(std::uint64_t id) {
 
 void MicroBatcher::close() {
   {
-    const std::lock_guard<std::mutex> lock{mu_};
+    const util::MutexLock lock{mu_};
     closed_ = true;
   }
   cv_.notify_all();
@@ -167,19 +167,19 @@ void MicroBatcher::close() {
 }
 
 std::size_t MicroBatcher::depth() const {
-  const std::lock_guard<std::mutex> lock{mu_};
+  const util::MutexLock lock{mu_};
   return total_;
 }
 
 std::map<std::string, std::size_t> MicroBatcher::depth_by_model() const {
-  const std::lock_guard<std::mutex> lock{mu_};
+  const util::MutexLock lock{mu_};
   std::map<std::string, std::size_t> depths;
   for (const auto& [model, lane] : lanes_) depths[model] = lane.size();
   return depths;
 }
 
 bool MicroBatcher::closed() const {
-  const std::lock_guard<std::mutex> lock{mu_};
+  const util::MutexLock lock{mu_};
   return closed_;
 }
 

@@ -36,20 +36,19 @@
 #pragma once
 
 #include <chrono>
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <deque>
 #include <future>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "serve/result.h"
 #include "tensor/tensor.h"
+#include "util/thread_annotations.h"
 
 namespace ttfs::snn {
 class ModelHandle;
@@ -138,22 +137,23 @@ class MicroBatcher {
   using Lane = std::deque<PendingRequest>;
   using LaneMap = std::map<std::string, Lane>;
 
-  bool full_locked() const { return opts_.capacity != 0 && total_ >= opts_.capacity; }
+  bool full_locked() const TTFS_REQUIRES(mu_) {
+    return opts_.capacity != 0 && total_ >= opts_.capacity;
+  }
   // Lane whose front has waited longest (lanes are never empty in lanes_);
   // lanes_.end() when no lane qualifies under `pred`.
   template <typename Pred>
-  LaneMap::iterator oldest_front_locked(Pred pred);
-  // Pops up to max_batch requests from `lane` (erasing it when emptied);
-  // caller holds mu_.
-  std::vector<PendingRequest> take_locked(LaneMap::iterator lane);
+  LaneMap::iterator oldest_front_locked(Pred pred) TTFS_REQUIRES(mu_);
+  // Pops up to max_batch requests from `lane` (erasing it when emptied).
+  std::vector<PendingRequest> take_locked(LaneMap::iterator lane) TTFS_REQUIRES(mu_);
 
   const BatcherOptions opts_;
-  mutable std::mutex mu_;
-  std::condition_variable cv_;        // consumers wait for batch-ready
-  std::condition_variable space_cv_;  // kBlock pushers wait for space
-  LaneMap lanes_;                     // model id -> FIFO lane; no empty lanes
-  std::size_t total_ = 0;             // requests across all lanes
-  bool closed_ = false;
+  mutable util::Mutex mu_;
+  util::CondVar cv_;        // consumers wait for batch-ready
+  util::CondVar space_cv_;  // kBlock pushers wait for space
+  LaneMap lanes_ TTFS_GUARDED_BY(mu_);      // model id -> FIFO lane; no empty lanes
+  std::size_t total_ TTFS_GUARDED_BY(mu_) = 0;  // requests across all lanes
+  bool closed_ TTFS_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace ttfs::serve

@@ -24,34 +24,34 @@ StatsCollector::StatsCollector(std::size_t replicas) : replicas_(replicas) {
 }
 
 void StatsCollector::on_submit(const std::string& model) {
-  const std::lock_guard<std::mutex> lock{mu_};
+  const util::MutexLock lock{mu_};
   ++submitted_;
   ++models_[model].submitted;
 }
 
 void StatsCollector::on_cancel() {
-  const std::lock_guard<std::mutex> lock{mu_};
+  const util::MutexLock lock{mu_};
   ++cancelled_;
 }
 
 void StatsCollector::on_reject() {
-  const std::lock_guard<std::mutex> lock{mu_};
+  const util::MutexLock lock{mu_};
   ++rejected_;
 }
 
 void StatsCollector::on_reject_overload() {
-  const std::lock_guard<std::mutex> lock{mu_};
+  const util::MutexLock lock{mu_};
   ++rejected_overload_;
 }
 
 void StatsCollector::on_shed(const std::string& model) {
-  const std::lock_guard<std::mutex> lock{mu_};
+  const util::MutexLock lock{mu_};
   ++shed_;
   ++models_[model].shed;
 }
 
 void StatsCollector::on_batch(std::size_t replica, const std::string& model) {
-  const std::lock_guard<std::mutex> lock{mu_};
+  const util::MutexLock lock{mu_};
   ++batches_;
   ++replicas_.at(replica).batches;
   ++models_[model].batches;
@@ -59,7 +59,7 @@ void StatsCollector::on_batch(std::size_t replica, const std::string& model) {
 
 void StatsCollector::on_complete(std::size_t replica, const std::string& model,
                                  double latency_seconds) {
-  const std::lock_guard<std::mutex> lock{mu_};
+  const util::MutexLock lock{mu_};
   ++completed_;
   latency_.record(latency_seconds);
   ReplicaSlot& slot = replicas_.at(replica);
@@ -72,7 +72,7 @@ void StatsCollector::on_complete(std::size_t replica, const std::string& model,
 
 ServerStats StatsCollector::snapshot(std::size_t queue_depth, const std::vector<bool>& busy,
                                      const std::map<std::string, std::size_t>& model_depths) const {
-  const std::lock_guard<std::mutex> lock{mu_};
+  const util::MutexLock lock{mu_};
   ServerStats s;
   s.submitted = submitted_;
   s.completed = completed_;

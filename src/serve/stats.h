@@ -12,11 +12,11 @@
 
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "util/latency_histogram.h"
+#include "util/thread_annotations.h"
 
 namespace ttfs::serve {
 
@@ -86,8 +86,13 @@ class StatsCollector {
 
   // `queue_depth` comes from the batcher (total and per model lane) and
   // `busy` flags from the router (they own the respective locks/flags).
+  // Takes mu_ exactly once for the whole snapshot, so every counter, replica
+  // slot, and model slot is read at the same instant — a request completing
+  // concurrently either appears in ALL derived fields (completed, mean batch
+  // size, latency quantiles) or in none of them, never torn across a few.
   ServerStats snapshot(std::size_t queue_depth, const std::vector<bool>& busy,
-                       const std::map<std::string, std::size_t>& model_depths) const;
+                       const std::map<std::string, std::size_t>& model_depths) const
+      TTFS_EXCLUDES(mu_);
 
  private:
   struct ReplicaSlot {
@@ -103,17 +108,17 @@ class StatsCollector {
     LatencyHistogram latency;
   };
 
-  mutable std::mutex mu_;
-  std::uint64_t submitted_ = 0;
-  std::uint64_t completed_ = 0;
-  std::uint64_t cancelled_ = 0;
-  std::uint64_t rejected_ = 0;
-  std::uint64_t rejected_overload_ = 0;
-  std::uint64_t shed_ = 0;
-  std::uint64_t batches_ = 0;
-  LatencyHistogram latency_;
-  std::vector<ReplicaSlot> replicas_;
-  std::map<std::string, ModelSlot> models_;
+  mutable util::Mutex mu_;
+  std::uint64_t submitted_ TTFS_GUARDED_BY(mu_) = 0;
+  std::uint64_t completed_ TTFS_GUARDED_BY(mu_) = 0;
+  std::uint64_t cancelled_ TTFS_GUARDED_BY(mu_) = 0;
+  std::uint64_t rejected_ TTFS_GUARDED_BY(mu_) = 0;
+  std::uint64_t rejected_overload_ TTFS_GUARDED_BY(mu_) = 0;
+  std::uint64_t shed_ TTFS_GUARDED_BY(mu_) = 0;
+  std::uint64_t batches_ TTFS_GUARDED_BY(mu_) = 0;
+  LatencyHistogram latency_ TTFS_GUARDED_BY(mu_);
+  std::vector<ReplicaSlot> replicas_ TTFS_GUARDED_BY(mu_);
+  std::map<std::string, ModelSlot> models_ TTFS_GUARDED_BY(mu_);
 };
 
 }  // namespace ttfs::serve

@@ -53,7 +53,7 @@ void SnnNetwork::ensure_packed() const {
   // mutex serializes the (rare) rebuild so concurrent const callers — e.g.
   // several servers or batch runs sharing one network — never race on packed_.
   if (!packed_dirty_.load(std::memory_order_acquire)) return;
-  const std::lock_guard<std::mutex> lock{pack_mu_};
+  const util::MutexLock lock{pack_mu_};
   if (!packed_dirty_.load(std::memory_order_relaxed)) return;
   packed_.clear();
   packed_.reserve(layers_.size());
@@ -100,13 +100,19 @@ void SnnNetwork::ensure_packed() const {
   packed_dirty_.store(false, std::memory_order_release);
 }
 
-const std::vector<PackedLayer>& SnnNetwork::packed_layers() const {
+// Lock-free read by protocol, not by lock: after ensure_packed() returns, the
+// pack is immutable until someone dirties it, and the registry's run-pin
+// (ModelRegistry::pin_for_run) guarantees no release/rebuild overlaps a
+// reader. The TSan lane exercises this protocol; the annotation suppression
+// is deliberate and scoped to exactly this accessor.
+const std::vector<PackedLayer>& SnnNetwork::packed_layers() const
+    TTFS_NO_THREAD_SAFETY_ANALYSIS {
   ensure_packed();
   return packed_;
 }
 
 std::size_t SnnNetwork::packed_bytes() const {
-  const std::lock_guard<std::mutex> lock{pack_mu_};
+  const util::MutexLock lock{pack_mu_};
   if (packed_dirty_.load(std::memory_order_relaxed)) return 0;
   std::size_t bytes = 0;
   for (const PackedLayer& layer : packed_) {
@@ -120,7 +126,7 @@ std::size_t SnnNetwork::packed_bytes() const {
 }
 
 void SnnNetwork::release_packed() const {
-  const std::lock_guard<std::mutex> lock{pack_mu_};
+  const util::MutexLock lock{pack_mu_};
   packed_.clear();
   packed_.shrink_to_fit();
   packed_dirty_.store(true, std::memory_order_release);

@@ -21,7 +21,6 @@
 
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <variant>
 #include <vector>
 
@@ -29,6 +28,7 @@
 #include "snn/quant.h"
 #include "snn/simd.h"
 #include "tensor/tensor.h"
+#include "util/thread_annotations.h"
 
 namespace ttfs {
 class ThreadPool;
@@ -114,11 +114,16 @@ class SnnNetwork {
       : kernel_{other.kernel_}, lut_{other.lut_}, layers_{other.layers_} {}
   SnnNetwork(SnnNetwork&& other) noexcept
       : kernel_{other.kernel_}, lut_{std::move(other.lut_)}, layers_{std::move(other.layers_)} {}
+  // Assignment takes the destination's own pack lock before dropping the
+  // resident packs: unlike construction/destruction, operator= can race a
+  // concurrent ensure_packed() on `this` (the analysis exempts only
+  // ctors/dtors, and rightly so here).
   SnnNetwork& operator=(const SnnNetwork& other) {
     if (this != &other) {
       kernel_ = other.kernel_;
       lut_ = other.lut_;
       layers_ = other.layers_;
+      const util::MutexLock lock{pack_mu_};
       packed_.clear();
       packed_dirty_.store(true, std::memory_order_release);
       quantized_ = QuantizedWeightPack{};
@@ -131,6 +136,7 @@ class SnnNetwork {
       kernel_ = other.kernel_;
       lut_ = std::move(other.lut_);
       layers_ = std::move(other.layers_);
+      const util::MutexLock lock{pack_mu_};
       packed_.clear();
       packed_dirty_.store(true, std::memory_order_release);
       quantized_ = QuantizedWeightPack{};
@@ -247,13 +253,15 @@ class SnnNetwork {
   // Lazy event-path weight pack (see ensure_packed); mutable so the const
   // simulator entry points can materialize it on first use. pack_mu_ guards
   // the rebuild; packed_dirty_ is the lock-free fast path for the (steady
-  // state) already-packed case.
-  mutable std::vector<PackedLayer> packed_;
+  // state) already-packed case. packed_layers()/quantized_pack() read the
+  // built pack without the lock under the registry's run-pin protocol — the
+  // two deliberate TTFS_NO_THREAD_SAFETY_ANALYSIS sites in this class.
+  mutable util::Mutex pack_mu_;
+  mutable std::vector<PackedLayer> packed_ TTFS_GUARDED_BY(pack_mu_);
   mutable std::atomic<bool> packed_dirty_{true};
   // Quantized-path pack (quant.h), same lifecycle under the same mutex.
-  mutable QuantizedWeightPack quantized_;
+  mutable QuantizedWeightPack quantized_ TTFS_GUARDED_BY(pack_mu_);
   mutable std::atomic<bool> quantized_dirty_{true};
-  mutable std::mutex pack_mu_;
 };
 
 }  // namespace ttfs::snn

@@ -163,23 +163,25 @@ void SnnNetwork::ensure_quantized(const QuantPackConfig& config) const {
   // the resident pack's config, which is only stable under the mutex. This
   // runs once per session run (not per sample), so the uncontended lock is
   // noise next to one inference.
-  const std::lock_guard<std::mutex> lock{pack_mu_};
+  const util::MutexLock lock{pack_mu_};
   if (!quantized_dirty_.load(std::memory_order_relaxed) && quantized_.config == config) return;
   quantized_ = build_quantized_pack(*this, config);
   quantized_dirty_.store(false, std::memory_order_release);
 }
 
-const QuantizedWeightPack& SnnNetwork::quantized_pack() const {
+const QuantizedWeightPack& SnnNetwork::quantized_pack() const
+    TTFS_NO_THREAD_SAFETY_ANALYSIS {
   // Lock-free read for the per-sample hot path; the run-pin protocol (the
   // registry, or single ownership) guarantees no concurrent release/rebuild
-  // while readers are in flight — same contract as packed_layers().
+  // while readers are in flight — same contract as packed_layers(), same
+  // deliberate analysis suppression (the TSan lane covers the protocol).
   TTFS_CHECK_MSG(!quantized_dirty_.load(std::memory_order_acquire),
                  "quantized pack not built -- call ensure_quantized first");
   return quantized_;
 }
 
 std::size_t SnnNetwork::quantized_bytes() const {
-  const std::lock_guard<std::mutex> lock{pack_mu_};
+  const util::MutexLock lock{pack_mu_};
   if (quantized_dirty_.load(std::memory_order_relaxed)) return 0;
   std::size_t bytes = quantized_.lut.size() * sizeof(std::int64_t);
   for (const QuantizedLayer& layer : quantized_.layers) {
@@ -195,7 +197,7 @@ std::size_t SnnNetwork::quantized_bytes() const {
 }
 
 void SnnNetwork::release_quantized() const {
-  const std::lock_guard<std::mutex> lock{pack_mu_};
+  const util::MutexLock lock{pack_mu_};
   quantized_ = QuantizedWeightPack{};
   quantized_dirty_.store(true, std::memory_order_release);
 }

@@ -54,7 +54,7 @@ std::shared_ptr<const ModelHandle> ModelRegistry::load(
   TTFS_CHECK_MSG(input_shape.size() == 3, "model '" << id << "' input_shape must be (C, H, W)");
   for (const std::int64_t d : input_shape) TTFS_CHECK(d > 0);
 
-  const std::lock_guard<std::mutex> lock{mu_};
+  const util::MutexLock lock{mu_};
   std::shared_ptr<const ModelHandle> handle{new ModelHandle{
       id, next_version_++, std::move(net), std::move(backend), std::move(input_shape)}};
   auto it = entries_.find(id);
@@ -87,7 +87,7 @@ std::shared_ptr<const ModelHandle> ModelRegistry::acquire(const std::string& id)
 }
 
 std::shared_ptr<const ModelHandle> ModelRegistry::try_acquire(const std::string& id) {
-  const std::lock_guard<std::mutex> lock{mu_};
+  const util::MutexLock lock{mu_};
   auto it = entries_.find(id);
   if (it == entries_.end()) return nullptr;
   touch_locked(it->second);
@@ -95,7 +95,7 @@ std::shared_ptr<const ModelHandle> ModelRegistry::try_acquire(const std::string&
 }
 
 bool ModelRegistry::unload(const std::string& id) {
-  const std::lock_guard<std::mutex> lock{mu_};
+  const util::MutexLock lock{mu_};
   auto it = entries_.find(id);
   if (it == entries_.end()) return false;
   const ModelHandle& old = *it->second.handle;
@@ -107,22 +107,22 @@ bool ModelRegistry::unload(const std::string& id) {
 }
 
 bool ModelRegistry::contains(const std::string& id) const {
-  const std::lock_guard<std::mutex> lock{mu_};
+  const util::MutexLock lock{mu_};
   return entries_.count(id) != 0;
 }
 
 std::vector<std::string> ModelRegistry::ids() const {
-  const std::lock_guard<std::mutex> lock{mu_};
+  const util::MutexLock lock{mu_};
   return {lru_.begin(), lru_.end()};
 }
 
 std::size_t ModelRegistry::size() const {
-  const std::lock_guard<std::mutex> lock{mu_};
+  const util::MutexLock lock{mu_};
   return entries_.size();
 }
 
 RegistryStats ModelRegistry::stats() const {
-  const std::lock_guard<std::mutex> lock{mu_};
+  const util::MutexLock lock{mu_};
   RegistryStats s;
   s.loads = loads_;
   s.swaps = swaps_;
@@ -154,7 +154,7 @@ ModelRegistry::RunPin::~RunPin() {
 ModelRegistry::RunPin ModelRegistry::pin_for_run(
     const std::shared_ptr<const ModelHandle>& handle) {
   TTFS_CHECK_MSG(handle != nullptr, "pin_for_run needs a handle");
-  const std::lock_guard<std::mutex> lock{mu_};
+  const util::MutexLock lock{mu_};
   // Pinned before any warm/evict decision below; eviction only runs under
   // mu_, so no pack this pin relies on can be released from here on.
   handle->pins_.fetch_add(1, std::memory_order_acq_rel);

@@ -53,13 +53,13 @@
 #include <cstdint>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "snn/engine.h"
 #include "snn/network.h"
+#include "util/thread_annotations.h"
 
 namespace ttfs::snn {
 
@@ -203,20 +203,25 @@ class ModelRegistry {
     std::list<std::string>::iterator lru;  // position in lru_ (front = MRU)
   };
 
-  // All helpers below require mu_ held.
-  void warm_locked(const ModelHandle& handle, bool count_miss);
-  void cool_locked(const ModelHandle& handle);
-  void evict_over_budget_locked(const ModelHandle* protect);
-  void touch_locked(Entry& entry);
+  // All helpers below require mu_ held (compiler-checked under clang).
+  void warm_locked(const ModelHandle& handle, bool count_miss) TTFS_REQUIRES(mu_);
+  void cool_locked(const ModelHandle& handle) TTFS_REQUIRES(mu_);
+  void evict_over_budget_locked(const ModelHandle* protect) TTFS_REQUIRES(mu_);
+  void touch_locked(Entry& entry) TTFS_REQUIRES(mu_);
 
   const RegistryOptions opts_;
-  mutable std::mutex mu_;
-  std::unordered_map<std::string, Entry> entries_;
-  std::list<std::string> lru_;  // most recently used at the front
-  std::size_t warm_bytes_ = 0;
-  std::uint64_t next_version_ = 1;
-  std::uint64_t loads_ = 0, swaps_ = 0, unloads_ = 0;
-  std::uint64_t hits_ = 0, misses_ = 0, evictions_ = 0;
+  mutable util::Mutex mu_;
+  std::unordered_map<std::string, Entry> entries_ TTFS_GUARDED_BY(mu_);
+  // Most recently used at the front.
+  std::list<std::string> lru_ TTFS_GUARDED_BY(mu_);
+  std::size_t warm_bytes_ TTFS_GUARDED_BY(mu_) = 0;
+  std::uint64_t next_version_ TTFS_GUARDED_BY(mu_) = 1;
+  std::uint64_t loads_ TTFS_GUARDED_BY(mu_) = 0;
+  std::uint64_t swaps_ TTFS_GUARDED_BY(mu_) = 0;
+  std::uint64_t unloads_ TTFS_GUARDED_BY(mu_) = 0;
+  std::uint64_t hits_ TTFS_GUARDED_BY(mu_) = 0;
+  std::uint64_t misses_ TTFS_GUARDED_BY(mu_) = 0;
+  std::uint64_t evictions_ TTFS_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace ttfs::snn

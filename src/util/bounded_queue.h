@@ -18,17 +18,21 @@
 // producers and consumers may operate concurrently; FIFO order is global
 // (single queue, single lock).
 //
+// The locking discipline is machine-checked: items_/closed_ carry
+// TTFS_GUARDED_BY(mu_), so under clang -Wthread-safety any access outside a
+// MutexLock scope is a compile error (see util/thread_annotations.h).
+//
 // The serving layer uses one as the batch hand-off between the batch-forming
 // dispatcher and the replica scheduler threads (serve/router.h), but nothing
 // here is serving-specific.
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
-#include <mutex>
 #include <optional>
 #include <utility>
+
+#include "util/thread_annotations.h"
 
 namespace ttfs {
 
@@ -46,8 +50,8 @@ class BoundedQueue {
 
   // Blocks while the queue is full; moves from `v` only on kOk.
   QueuePush push(T& v) {
-    std::unique_lock<std::mutex> lock{mu_};
-    space_cv_.wait(lock, [this] { return closed_ || !full_locked(); });
+    util::MutexLock lock{mu_};
+    while (!closed_ && full_locked()) space_cv_.wait(lock);
     if (closed_) return QueuePush::kClosed;
     items_.push_back(std::move(v));
     lock.unlock();
@@ -58,7 +62,7 @@ class BoundedQueue {
   // Never blocks: kFull leaves `v` untouched for the caller to resolve.
   QueuePush try_push(T& v) {
     {
-      const std::lock_guard<std::mutex> lock{mu_};
+      const util::MutexLock lock{mu_};
       if (closed_) return QueuePush::kClosed;
       if (full_locked()) return QueuePush::kFull;
       items_.push_back(std::move(v));
@@ -73,7 +77,7 @@ class BoundedQueue {
   QueuePush shed_push(T& v, std::optional<T>& shed) {
     shed.reset();
     {
-      const std::lock_guard<std::mutex> lock{mu_};
+      const util::MutexLock lock{mu_};
       if (closed_) return QueuePush::kClosed;
       if (full_locked()) {
         shed.emplace(std::move(items_.front()));
@@ -88,8 +92,8 @@ class BoundedQueue {
   // Blocks until an element is available; nullopt only once closed *and*
   // drained (accepted elements always reach a consumer).
   std::optional<T> pop() {
-    std::unique_lock<std::mutex> lock{mu_};
-    item_cv_.wait(lock, [this] { return closed_ || !items_.empty(); });
+    util::MutexLock lock{mu_};
+    while (!closed_ && items_.empty()) item_cv_.wait(lock);
     if (items_.empty()) return std::nullopt;  // closed and drained
     T v = std::move(items_.front());
     items_.pop_front();
@@ -101,7 +105,7 @@ class BoundedQueue {
   std::optional<T> try_pop() {
     std::optional<T> v;
     {
-      const std::lock_guard<std::mutex> lock{mu_};
+      const util::MutexLock lock{mu_};
       if (items_.empty()) return std::nullopt;
       v.emplace(std::move(items_.front()));
       items_.pop_front();
@@ -113,7 +117,7 @@ class BoundedQueue {
   // Refuses further pushes and wakes every waiter. Idempotent.
   void close() {
     {
-      const std::lock_guard<std::mutex> lock{mu_};
+      const util::MutexLock lock{mu_};
       closed_ = true;
     }
     item_cv_.notify_all();
@@ -121,26 +125,28 @@ class BoundedQueue {
   }
 
   bool closed() const {
-    const std::lock_guard<std::mutex> lock{mu_};
+    const util::MutexLock lock{mu_};
     return closed_;
   }
 
   std::size_t size() const {
-    const std::lock_guard<std::mutex> lock{mu_};
+    const util::MutexLock lock{mu_};
     return items_.size();
   }
 
   std::size_t capacity() const { return capacity_; }
 
  private:
-  bool full_locked() const { return capacity_ != 0 && items_.size() >= capacity_; }
+  bool full_locked() const TTFS_REQUIRES(mu_) {
+    return capacity_ != 0 && items_.size() >= capacity_;
+  }
 
   const std::size_t capacity_;
-  mutable std::mutex mu_;
-  std::condition_variable item_cv_;   // consumers wait here
-  std::condition_variable space_cv_;  // blocked pushers wait here
-  std::deque<T> items_;
-  bool closed_ = false;
+  mutable util::Mutex mu_;
+  util::CondVar item_cv_;   // consumers wait here
+  util::CondVar space_cv_;  // blocked pushers wait here
+  std::deque<T> items_ TTFS_GUARDED_BY(mu_);
+  bool closed_ TTFS_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace ttfs

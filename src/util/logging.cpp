@@ -2,7 +2,8 @@
 
 #include <atomic>
 #include <cstdlib>
-#include <mutex>
+
+#include "util/thread_annotations.h"
 
 namespace ttfs::log {
 namespace {
@@ -45,8 +46,8 @@ void set_level(Level lvl) {
 }
 
 void emit(Level lvl, const std::string& message) {
-  static std::mutex mu;
-  const std::lock_guard<std::mutex> lock{mu};
+  static util::Mutex mu;  // serializes writers so lines never interleave
+  const util::MutexLock lock{mu};
   std::cerr << '[' << tag(lvl) << "] " << message << '\n';
 }
 

@@ -21,7 +21,7 @@ ThreadPool::ThreadPool(unsigned threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    const std::lock_guard<std::mutex> lock{mu_};
+    const util::MutexLock lock{mu_};
     stop_ = true;
   }
   cv_.notify_all();
@@ -33,8 +33,8 @@ void ThreadPool::worker_loop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock{mu_};
-      cv_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
+      util::MutexLock lock{mu_};
+      while (!stop_ && tasks_.empty()) cv_.wait(lock);
       if (stop_ && tasks_.empty()) return;
       task = std::move(tasks_.front());
       tasks_.pop();
@@ -74,9 +74,9 @@ void ThreadPool::parallel_for_indexed(
 
   std::atomic<std::int64_t> remaining{0};
   std::exception_ptr first_error;
-  std::mutex error_mu;
-  std::mutex done_mu;
-  std::condition_variable done_cv;
+  util::Mutex error_mu;
+  util::Mutex done_mu;
+  util::CondVar done_cv;
 
   for (std::int64_t c = 0; c < chunks; ++c) {
     const std::int64_t lo = begin + c * chunk;
@@ -84,19 +84,19 @@ void ThreadPool::parallel_for_indexed(
     if (lo >= hi) break;
     remaining.fetch_add(1, std::memory_order_relaxed);
     {
-      const std::lock_guard<std::mutex> lock{mu_};
+      const util::MutexLock lock{mu_};
       tasks_.emplace([&, c, lo, hi] {
         try {
           fn(static_cast<std::size_t>(c), lo, hi);
         } catch (...) {
-          const std::lock_guard<std::mutex> elock{error_mu};
+          const util::MutexLock elock{error_mu};
           if (!first_error) first_error = std::current_exception();
         }
         // The decrement must happen under done_mu: the caller owns every sync
         // object on its stack and returns as soon as it observes remaining ==
         // 0, so a worker that dropped the count to 0 *before* taking the lock
         // could find the mutex already destroyed when it went to notify.
-        const std::lock_guard<std::mutex> dlock{done_mu};
+        const util::MutexLock dlock{done_mu};
         if (remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
           done_cv.notify_all();
         }
@@ -105,8 +105,8 @@ void ThreadPool::parallel_for_indexed(
   }
   cv_.notify_all();
 
-  std::unique_lock<std::mutex> lock{done_mu};
-  done_cv.wait(lock, [&] { return remaining.load(std::memory_order_acquire) == 0; });
+  util::MutexLock lock{done_mu};
+  while (remaining.load(std::memory_order_acquire) != 0) done_cv.wait(lock);
   if (first_error) std::rethrow_exception(first_error);
 }
 

@@ -6,13 +6,13 @@
 // locally for tests.
 #pragma once
 
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
+
+#include "util/thread_annotations.h"
 
 namespace ttfs {
 
@@ -49,10 +49,10 @@ class ThreadPool {
   void worker_loop();
 
   std::vector<std::thread> workers_;
-  std::queue<std::function<void()>> tasks_;
-  std::mutex mu_;
-  std::condition_variable cv_;
-  bool stop_ = false;
+  util::Mutex mu_;
+  util::CondVar cv_;
+  std::queue<std::function<void()>> tasks_ TTFS_GUARDED_BY(mu_);
+  bool stop_ TTFS_GUARDED_BY(mu_) = false;
 };
 
 // Process-wide pool sized from std::thread::hardware_concurrency(), capped by

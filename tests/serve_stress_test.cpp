@@ -11,10 +11,12 @@
 
 #include <atomic>
 #include <chrono>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "serve/server.h"
+#include "serve/stats.h"
 #include "snn/engine.h"
 #include "snn/event_sim.h"
 #include "snn/network.h"
@@ -269,6 +271,71 @@ TEST(ServeStress, BlockAdmissionUnderConcurrentOverload) {
   EXPECT_EQ(stats.rejected, 0U);
   EXPECT_EQ(stats.rejected_overload, 0U);
   EXPECT_EQ(stats.shed, 0U);
+}
+
+// StatsCollector::snapshot takes the stats mutex exactly once for the whole
+// read, so the global counters, the per-replica slots, and the per-model
+// slots always come from the same instant. A torn snapshot (per-field or
+// per-section locking) would let a concurrent on_complete — which bumps the
+// global, replica, and model counters under ONE lock acquisition — land
+// between the reads and break their equality. Regression test for the
+// coherent-snapshot contract (annotated in serve/stats.h).
+TEST(ServeStress, StatsSnapshotIsCoherentUnderConcurrentWrites) {
+  StatsCollector stats{2};
+  std::atomic<bool> done{false};
+
+  // Writer: every iteration is one batch of exactly 3 completions, fanned
+  // across both replicas and two models, all through the collector's own
+  // (internally locked) mutators.
+  std::thread writer{[&] {
+    for (int i = 0; i < 20000; ++i) {
+      const std::string model = (i % 2 == 0) ? "a" : "b";
+      const std::size_t replica = static_cast<std::size_t>(i % 2);
+      stats.on_submit(model);
+      stats.on_batch(replica, model);
+      for (int c = 0; c < 3; ++c) stats.on_complete(replica, model, 1e-3);
+    }
+    done.store(true, std::memory_order_release);
+  }};
+
+  // do-while: at least one snapshot races the writer even if the scheduler
+  // runs the writer to completion first (single-core CI).
+  do {
+    const ServerStats s = stats.snapshot(0, {false, false}, {});
+    // Each on_complete updates the global, replica, and model counters under
+    // one lock; a coherent snapshot must therefore show them in agreement.
+    std::uint64_t replica_completed = 0, replica_batches = 0;
+    for (const ReplicaStats& r : s.replicas) {
+      replica_completed += r.completed;
+      replica_batches += r.batches;
+    }
+    ASSERT_EQ(replica_completed, s.completed);
+    ASSERT_EQ(replica_batches, s.batches_formed);
+    std::uint64_t model_completed = 0, model_submitted = 0;
+    for (const ModelStats& m : s.models) {
+      model_completed += m.completed;
+      model_submitted += m.submitted;
+    }
+    ASSERT_EQ(model_completed, s.completed);
+    ASSERT_EQ(model_submitted, s.submitted);
+    // The writer finishes each batch's 3 completions before starting the
+    // next batch, so completions can trail the batch count by at most one
+    // in-progress batch — and can never exceed 3 per formed batch.
+    ASSERT_LE(s.completed, 3 * s.batches_formed);
+    if (s.batches_formed > 0) {
+      ASSERT_GE(s.completed + 3, 3 * s.batches_formed);
+    }
+  } while (!done.load(std::memory_order_acquire));
+  writer.join();
+
+  const ServerStats s = stats.snapshot(0, {false, false}, {});
+  EXPECT_EQ(s.submitted, 20000U);
+  EXPECT_EQ(s.batches_formed, 20000U);
+  EXPECT_EQ(s.completed, 60000U);
+  ASSERT_EQ(s.models.size(), 2U);
+  EXPECT_EQ(s.models[0].id, "a");
+  EXPECT_EQ(s.models[1].id, "b");
+  EXPECT_EQ(s.models[0].completed + s.models[1].completed, 60000U);
 }
 
 }  // namespace

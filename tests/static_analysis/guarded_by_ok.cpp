@@ -1,0 +1,54 @@
+// Positive twin of the *_violation.cpp probes: the same shapes written
+// correctly MUST compile clean under clang -Werror=thread-safety. Guards the
+// gate against the opposite failure mode — annotations so strict (or a
+// wrapper regression) that correct code stops compiling, which would teach
+// people to reach for TTFS_NO_THREAD_SAFETY_ANALYSIS.
+// Compiled by tools/run_static_analysis.py (expect-pass); never built.
+#include "util/thread_annotations.h"
+
+namespace {
+
+class Counter {
+ public:
+  void increment() {
+    const ttfs::util::MutexLock lock{mu_};
+    ++value_;
+  }
+
+  long read() const {
+    const ttfs::util::MutexLock lock{mu_};
+    return value_;
+  }
+
+  // The canonical explicit wait loop (no predicate lambda — the analysis
+  // cannot see the caller's lock inside one).
+  long wait_nonzero() {
+    ttfs::util::MutexLock lock{mu_};
+    while (zero_locked()) cv_.wait(lock);
+    return value_;
+  }
+
+  void bump_and_notify() {
+    {
+      const ttfs::util::MutexLock lock{mu_};
+      ++value_;
+    }
+    cv_.notify_all();
+  }
+
+ private:
+  bool zero_locked() const TTFS_REQUIRES(mu_) { return value_ == 0; }
+
+  mutable ttfs::util::Mutex mu_;
+  ttfs::util::CondVar cv_;
+  long value_ TTFS_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  c.increment();
+  c.bump_and_notify();
+  return static_cast<int>(c.read() - c.wait_nonzero());
+}

@@ -1,0 +1,34 @@
+// Negative-compile probe for the static-analysis lane: reading a
+// TTFS_GUARDED_BY field without holding its mutex MUST fail to compile under
+// clang -Werror=thread-safety. tools/run_static_analysis.py --expect-fail
+// compiles this file and treats *success* as the failure — proving the lane
+// actually detects violations rather than silently passing (e.g. after a
+// macro regression that turned the annotations into no-ops).
+//
+// This file is never part of any build target.
+#include "util/thread_annotations.h"
+
+namespace {
+
+class Counter {
+ public:
+  void increment() {
+    const ttfs::util::MutexLock lock{mu_};
+    ++value_;
+  }
+
+  // BUG (deliberate): guarded read without the lock.
+  long read_unlocked() const { return value_; }
+
+ private:
+  mutable ttfs::util::Mutex mu_;
+  long value_ TTFS_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  c.increment();
+  return static_cast<int>(c.read_unlocked());
+}
