@@ -48,6 +48,8 @@ void scatter_buckets(const int* steps, std::int64_t n, std::int64_t* counts, int
     counts[t] = total;
     total += c;
   }
+  // lint-hotpath: allow(alloc) trace output, sized once per fire phase; only
+  // the returned trace may allocate (scratch stays in SimArena).
   out.spikes.resize(static_cast<std::size_t>(total));
   for (std::int64_t i = 0; i < n; ++i) {
     const int k = steps[i];
