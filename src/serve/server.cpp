@@ -248,8 +248,8 @@ void SnnServer::run_segment(std::size_t r, std::vector<PendingRequest>& batch, s
       // R replica sessions fan out over one pool: each pre-reserves only its
       // even worker share (see SessionOptions::concurrent_sessions).
       sopts.concurrent_sessions = opts_.replicas;
-      Bound fresh{handle,
-                  snn::InferenceSession{handle->net(), handle->backend_ptr(), sopts}};
+      Bound fresh{handle, snn::InferenceSession{handle->net(), handle->backend_ptr(),
+                                                std::move(sopts)}};
       bound = slots.insert_or_assign(handle->id(), std::move(fresh)).first;
     }
 
