@@ -7,6 +7,7 @@ namespace ttfs {
 
 Scale run_scale() {
   static const Scale scale = [] {
+    // NOLINTNEXTLINE(concurrency-mt-unsafe): read once at startup; nothing calls setenv
     const char* env = std::getenv("TTFS_SCALE");
     if (env != nullptr && std::string{env} == "full") return Scale::kFull;
     return Scale::kQuick;

@@ -9,6 +9,7 @@ namespace ttfs::log {
 namespace {
 
 Level initial_level() {
+  // NOLINTNEXTLINE(concurrency-mt-unsafe): read once at startup; nothing calls setenv
   const char* env = std::getenv("TTFS_LOG_LEVEL");
   if (env == nullptr) return Level::kInfo;
   const std::string v{env};

@@ -114,6 +114,7 @@ ThreadPool& global_pool() {
   static ThreadPool pool{[] {
     unsigned n = std::thread::hardware_concurrency();
     if (n == 0) n = 2;
+    // NOLINTNEXTLINE(concurrency-mt-unsafe): read once at startup; nothing calls setenv
     if (const char* env = std::getenv("TTFS_THREADS")) {
       const long v = std::strtol(env, nullptr, 10);
       if (v >= 0 && v < 256) n = static_cast<unsigned>(v);
