@@ -16,9 +16,15 @@
 // latency the server stamped when the request's promise resolved, and the
 // bench feeds it into its own LatencyHistogram the moment .get() returns, so
 // the reported quantiles measure exactly what a caller experiences (the
-// bench exits nonzero if that histogram ever ends a cell empty). The speedup
-// column compares against max_batch=1 at the same client count, replica
-// count and admission configuration.
+// bench exits nonzero if that histogram ever ends a cell empty). The bench
+// also ASSERTS the semantics it documents: every recorded latency_seconds
+// must nest inside the client's own submit->get() wall interval — the
+// server-stamped enqueue->complete can never exceed what the submitting
+// thread observed, so a refactor that silently switches the stamp to
+// include client/wire time (the wire bench's job, not this one; see
+// docs/benchmarks.md) fails the run instead of drifting the baseline. The
+// speedup column compares against max_batch=1 at the same client count,
+// replica count and admission configuration.
 //
 // --replicas/--queue-cap/--admission take comma-separated sweeps; every
 // BENCH_serving_latency_<backend>.json row carries the full configuration
@@ -150,8 +156,19 @@ CellResult run_cell(const snn::SnnNetwork& net, const std::vector<Tensor>& image
       threads.emplace_back([&, c] {
         // Client c owns requests c, c+clients, c+2*clients, ...
         for (std::int64_t i = c; i < requests; i += cfg.clients) {
+          const auto submitted = std::chrono::steady_clock::now();
           auto sub = server.submit(images[static_cast<std::size_t>(i)]);
           const serve::ServeResult r = sub.result.get();
+          // Enqueue->complete nests inside this thread's submit->get
+          // interval by construction; a stamp that exceeds it means the
+          // latency semantics changed under the bench (see header comment).
+          const double observed = serve::seconds_since(submitted);
+          if (r.latency_seconds > observed + 1e-3) {
+            std::cerr << "FATAL: latency stamp " << r.latency_seconds
+                      << "s exceeds the client-observed submit->get interval " << observed
+                      << "s — no longer enqueue->complete?\n";
+            std::exit(1);
+          }
           const std::lock_guard<std::mutex> lock{resolved_mu};
           if (r.status == serve::RequestStatus::kOk) {
             resolved.record(r.latency_seconds);

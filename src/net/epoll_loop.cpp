@@ -1,0 +1,75 @@
+#include "net/epoll_loop.h"
+
+#ifdef __linux__
+
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+namespace ttfs::net {
+
+EpollLoop::EpollLoop() {
+  epoll_.reset(::epoll_create1(EPOLL_CLOEXEC));
+  if (!epoll_.valid()) {
+    throw std::runtime_error(std::string{"epoll_create1: "} + std::strerror(errno));
+  }
+  wake_.reset(::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK));
+  if (!wake_.valid()) {
+    throw std::runtime_error(std::string{"eventfd: "} + std::strerror(errno));
+  }
+  if (!add(wake_.get(), EPOLLIN, kWakeKey)) {
+    throw std::runtime_error(std::string{"epoll_ctl(wakeup): "} + std::strerror(errno));
+  }
+}
+
+EpollLoop::~EpollLoop() = default;
+
+bool EpollLoop::add(int fd, std::uint32_t events, std::uint64_t key) {
+  epoll_event ev{};
+  ev.events = events;
+  ev.data.u64 = key;
+  return ::epoll_ctl(epoll_.get(), EPOLL_CTL_ADD, fd, &ev) == 0;
+}
+
+bool EpollLoop::mod(int fd, std::uint32_t events, std::uint64_t key) {
+  epoll_event ev{};
+  ev.events = events;
+  ev.data.u64 = key;
+  return ::epoll_ctl(epoll_.get(), EPOLL_CTL_MOD, fd, &ev) == 0;
+}
+
+bool EpollLoop::del(int fd) {
+  return ::epoll_ctl(epoll_.get(), EPOLL_CTL_DEL, fd, nullptr) == 0;
+}
+
+int EpollLoop::wait(int timeout_ms, std::vector<epoll_event>* out) {
+  out->clear();
+  out->resize(64);
+  int n;
+  do {
+    n = ::epoll_wait(epoll_.get(), out->data(), static_cast<int>(out->size()), timeout_ms);
+  } while (n < 0 && errno == EINTR);
+  if (n < 0) n = 0;
+  out->resize(static_cast<std::size_t>(n));
+  for (epoll_event& ev : *out) {
+    if (ev.data.u64 == kWakeKey) {
+      // Consume the coalesced counter so the next wake() edges again.
+      std::uint64_t count = 0;
+      [[maybe_unused]] const ssize_t r = ::read(wake_.get(), &count, sizeof(count));
+    }
+  }
+  return n;
+}
+
+void EpollLoop::wake() {
+  const std::uint64_t one = 1;
+  [[maybe_unused]] const ssize_t r = ::write(wake_.get(), &one, sizeof(one));
+}
+
+}  // namespace ttfs::net
+
+#endif  // __linux__

@@ -1,0 +1,71 @@
+// EpollLoop — thin RAII owner of one epoll instance plus the eventfd wakeup
+// every event loop needs, shared by the wire server (src/net/wire_server.cpp)
+// and the load generator's client engine (tools/loadgen/).
+//
+// The class is deliberately mechanism-only: it registers interest, waits, and
+// hands back the raw epoll_event array. Readiness *semantics* (edge-triggered
+// read-until-EAGAIN loops, write backpressure, connection state machines)
+// belong to the caller — that keeps this file small enough to audit against
+// the epoll man pages and reusable between a server and a client that want
+// very different state machines on top.
+//
+// Thread safety: one thread owns the loop and calls wait(); wake() is the
+// single cross-thread entry point (eventfd writes are async-signal-safe and
+// atomic), used by completion callbacks and stop() requests to interrupt a
+// blocking wait. add/mod/del must stay on the owning thread.
+//
+// Linux-only (epoll + eventfd): the whole src/net/ subsystem is compiled
+// only on Linux (see src/CMakeLists.txt); non-Linux builds of the library
+// simply do not contain it.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/fd.h"
+
+struct epoll_event;  // <sys/epoll.h> kept out of this header's includers
+
+namespace ttfs::net {
+
+// Tags the wakeup eventfd in the events wait() reports. Callers pick their
+// own u64 keys for every fd they add; this value is reserved.
+inline constexpr std::uint64_t kWakeKey = ~std::uint64_t{0};
+
+class EpollLoop {
+ public:
+  // Creates the epoll instance and its wakeup eventfd. Throws
+  // std::runtime_error when either syscall fails (fd exhaustion).
+  EpollLoop();
+  ~EpollLoop();
+
+  EpollLoop(const EpollLoop&) = delete;
+  EpollLoop& operator=(const EpollLoop&) = delete;
+
+  // Registers `fd` with the given EPOLL* event mask under caller-chosen
+  // `key` (reported back in ready events; kWakeKey is reserved). Returns
+  // false (errno set) on failure.
+  bool add(int fd, std::uint32_t events, std::uint64_t key);
+  // Replaces the event mask / key of an already-registered fd.
+  bool mod(int fd, std::uint32_t events, std::uint64_t key);
+  // Unregisters `fd` (a close() also unregisters implicitly; explicit del
+  // keeps the interest list in sync with the caller's connection map).
+  bool del(int fd);
+
+  // Blocks up to timeout_ms (-1 = forever, 0 = poll) for ready events and
+  // appends them to `out` (cleared first). Wakeup events are consumed and
+  // reported with key == kWakeKey so callers can distinguish "poked" from
+  // fd readiness. Returns the number of events delivered, 0 on timeout.
+  // EINTR is retried internally.
+  int wait(int timeout_ms, std::vector<epoll_event>* out);
+
+  // Interrupts a concurrent wait() from any thread. Multiple wakes before
+  // the loop runs coalesce into one event.
+  void wake();
+
+ private:
+  util::Fd epoll_;
+  util::Fd wake_;
+};
+
+}  // namespace ttfs::net

@@ -39,6 +39,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <future>
 #include <map>
 #include <memory>
@@ -70,6 +71,13 @@ struct PendingRequest {
   Tensor image;  // (C, H, W)
   std::chrono::steady_clock::time_point enqueued;
   std::promise<ServeResult> promise;
+  // Exactly one consumer per request: when set (SnnServer::submit_async),
+  // this callback receives the ServeResult INSTEAD of the promise — it runs
+  // on whatever thread resolves the request (a replica scheduler for served
+  // work, the submitter for refusals, the stopping thread for drain
+  // rejections) and must not block. When empty, the promise/future pair is
+  // the consumer as before.
+  std::function<void(ServeResult)> on_complete;
 };
 
 // What a push does when the bounded queue is full (see header comment).

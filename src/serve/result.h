@@ -39,6 +39,11 @@ enum class RequestStatus {
                // or the named model is not in the registry
   kShed,       // admitted but later evicted as the oldest queued request to
                // make room under AdmissionPolicy::kShedOldest
+  kFailed,     // the backend threw while serving the batch. Future-based
+               // submissions never see this — their future rethrows the
+               // backend exception; it exists for the callback path
+               // (SnnServer::submit_async), where a wire front end needs a
+               // value to answer the client with.
 };
 
 struct ServeResult {

@@ -112,15 +112,28 @@ SnnServer::Submission SnnServer::submit(Tensor image) {
 }
 
 SnnServer::Submission SnnServer::submit(const std::string& model_id, Tensor image) {
+  return enqueue(model_id, std::move(image), nullptr, /*want_future=*/true);
+}
+
+std::uint64_t SnnServer::submit_async(const std::string& model_id, Tensor image,
+                                      std::function<void(ServeResult)> on_complete) {
+  TTFS_CHECK_MSG(on_complete != nullptr, "submit_async needs a completion callback");
+  return enqueue(model_id, std::move(image), std::move(on_complete), /*want_future=*/false).id;
+}
+
+SnnServer::Submission SnnServer::enqueue(const std::string& model_id, Tensor image,
+                                         std::function<void(ServeResult)> on_complete,
+                                         bool want_future) {
   PendingRequest req;
   req.id = next_id_.fetch_add(1, std::memory_order_relaxed);
   req.model_id = model_id;
   req.image = std::move(image);
   req.enqueued = std::chrono::steady_clock::now();
+  req.on_complete = std::move(on_complete);
 
   Submission sub;
   sub.id = req.id;
-  sub.result = req.promise.get_future();
+  if (want_future) sub.result = req.promise.get_future();
   // Counted before the push: once the request is queued the schedulers can
   // complete it, and a concurrent stats() snapshot must never see
   // completed > submitted.
@@ -165,12 +178,20 @@ SnnServer::Submission SnnServer::submit(const std::string& model_id, Tensor imag
   return sub;
 }
 
+void SnnServer::deliver(PendingRequest& req, ServeResult result) {
+  if (req.on_complete) {
+    req.on_complete(std::move(result));
+  } else {
+    req.promise.set_value(std::move(result));
+  }
+}
+
 void SnnServer::resolve_refused(PendingRequest req, RequestStatus status) {
   ServeResult r;
   r.status = status;
   r.model_id = std::move(req.model_id);
   r.latency_seconds = seconds_since(req.enqueued);
-  req.promise.set_value(std::move(r));
+  deliver(req, std::move(r));
 }
 
 bool SnnServer::cancel(std::uint64_t id) {
@@ -181,7 +202,7 @@ bool SnnServer::cancel(std::uint64_t id) {
   r.status = RequestStatus::kCancelled;
   r.model_id = removed->model_id;
   r.latency_seconds = seconds_since(removed->enqueued);
-  removed->promise.set_value(std::move(r));
+  deliver(*removed, std::move(r));
   return true;
 }
 
@@ -280,13 +301,22 @@ void SnnServer::run_segment(std::size_t r, std::vector<PendingRequest>& batch, s
       const double latency = seconds_since(batch[i].enqueued);
       res.latency_seconds = latency;
       stats_.on_complete(r, batch[i].model_id, latency);
-      batch[i].promise.set_value(std::move(res));
+      deliver(batch[i], std::move(res));
     }
   } catch (...) {
     // A backend failure poisons the whole segment; waiters see the exception
     // instead of hanging. (Shape mismatches are caught at submit(), so this
-    // is defensive.)
+    // is defensive.) Callback consumers cannot rethrow through a future, so
+    // they get a kFailed result instead.
     for (std::size_t i = begin; i < end; ++i) {
+      if (batch[i].on_complete) {
+        ServeResult res;
+        res.status = RequestStatus::kFailed;
+        res.model_id = batch[i].model_id;
+        res.latency_seconds = seconds_since(batch[i].enqueued);
+        batch[i].on_complete(std::move(res));
+        continue;
+      }
       try {
         batch[i].promise.set_exception(std::current_exception());
       } catch (const std::future_error&) {

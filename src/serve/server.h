@@ -49,6 +49,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <functional>
 #include <future>
 #include <memory>
 #include <mutex>
@@ -104,18 +105,23 @@ struct ServeOptions {
   std::string default_model;
 };
 
+// Thread-safety summary: every public method is safe to call from any thread
+// while the server runs, unless its contract below says otherwise. The
+// internal discipline is annotated under the thread_annotations.h scheme —
+// StatsCollector/MicroBatcher/ReplicaRouter each own a util::Mutex; the
+// server itself holds no lock on the submit path beyond theirs.
 class SnnServer {
  public:
   // Multi-model server over opts.registry (required non-null). Models
   // registered later are served as soon as load() returns; swapped models
-  // take effect per-request at submit time.
+  // take effect per-request at submit time. [ctor: one thread]
   explicit SnnServer(ServeOptions opts);
 
   // Single-model convenience: wraps `net` in an internal one-model registry
   // under the id "default". The network must outlive the server and must not
   // be mutated while it is running. `input_shape` is the mandatory (C, H, W)
   // of every request image — fixed up front so batches are uniform and each
-  // replica's arenas are pre-reserved once.
+  // replica's arenas are pre-reserved once. [ctor: one thread]
   SnnServer(const snn::SnnNetwork& net, std::vector<std::int64_t> input_shape,
             ServeOptions opts = {});
   ~SnnServer();  // stop()
@@ -134,30 +140,53 @@ class SnnServer {
   // std::invalid_argument when the image does not match the model's input
   // shape. Never blocks on inference; under kBlock it MAY block on a full
   // submit queue until space frees (that is the policy's point).
+  // [thread-safe]
   Submission submit(const std::string& model_id, Tensor image);
   // Same, for the default model; throws when the server has none.
+  // [thread-safe]
   Submission submit(Tensor image);
+
+  // Callback flavor of submit() for event-loop front ends (net/wire_server)
+  // that cannot park a thread per future: `on_complete` (required non-null)
+  // is invoked EXACTLY once with the same ServeResult the future flavor
+  // would resolve with — including refusals (kRejected/kShed) and, uniquely
+  // to this path, kFailed when the backend throws mid-batch. It may run on
+  // the calling thread (synchronous refusal), a replica scheduler, or the
+  // stop()ping thread, so it must be quick and must not re-enter the server.
+  // Same admission/blocking semantics as submit(). Returns the request id
+  // (valid for cancel()). [thread-safe]
+  std::uint64_t submit_async(const std::string& model_id, Tensor image,
+                             std::function<void(ServeResult)> on_complete);
 
   // True iff the request was still queued: its future resolves kCancelled.
   // False once its batch has formed — the result arrives normally.
+  // [thread-safe]
   bool cancel(std::uint64_t id);
 
   // Stops accepting, drains everything pending through normal batches on all
   // replicas, joins dispatcher + schedulers. Idempotent; the destructor
-  // calls it.
+  // calls it. [thread-safe; blocks until the drain completes]
   void stop();
 
+  // Consistent point-in-time snapshot (one lock acquisition; see
+  // StatsCollector::snapshot). [thread-safe]
   ServerStats stats() const;
+  // Immutable after construction. [thread-safe]
   const ServeOptions& options() const { return opts_; }
+  // The registry is itself fully thread-safe; loads/swaps through it take
+  // effect per-request. [thread-safe]
   snn::ModelRegistry& registry() const { return *registry_; }
-  // Registered model ids, most recently used first.
+  // Registered model ids, most recently used first. [thread-safe]
   std::vector<std::string> models() const { return registry_->ids(); }
-  // Empty when the server has no default model.
+  // Empty when the server has no default model; immutable after
+  // construction. [thread-safe]
   const std::string& default_model() const { return default_model_; }
   // Input shape / backend of the default model as resolved at construction
   // (the single-model server's original accessors). Throw when no default.
+  // [thread-safe: the construction-time lease is immutable]
   const std::vector<std::int64_t>& input_shape() const;
   const snn::InferenceBackend& backend() const;
+  // Immutable after construction. [thread-safe]
   std::int64_t replicas() const { return opts_.replicas; }
 
  private:
@@ -168,6 +197,14 @@ class SnnServer {
     std::shared_ptr<const snn::ModelHandle> handle;
     snn::InferenceSession session;
   };
+
+  // The one funnel every submission flavor goes through; `on_complete`
+  // empty = future-consumed request.
+  Submission enqueue(const std::string& model_id, Tensor image,
+                     std::function<void(ServeResult)> on_complete, bool want_future);
+  // Resolves a request to its single consumer: the callback when set, the
+  // promise otherwise.
+  static void deliver(PendingRequest& req, ServeResult result);
 
   void dispatcher_loop();
   void replica_loop(std::size_t r);

@@ -76,12 +76,18 @@ class StatsCollector {
   // traffic names them.
   explicit StatsCollector(std::size_t replicas = 1);
 
-  void on_submit(const std::string& model);
-  void on_cancel();
-  void on_reject();
-  void on_reject_overload();
-  void on_shed(const std::string& model);
+  // Lifecycle event sinks, one per observable transition of a request. Each
+  // takes the collector's mutex once and returns; all are safe from any
+  // thread concurrently with each other and with snapshot(). [thread-safe]
+  void on_submit(const std::string& model);  // every submit(), refusals included
+  void on_cancel();                          // removed from the queue by cancel()
+  void on_reject();                          // refused: shutdown or unknown model
+  void on_reject_overload();                 // refused: full queue (kRejectWhenFull)
+  void on_shed(const std::string& model);    // evicted oldest-first (kShedOldest)
+  // A batch from `model`'s lane started on `replica`. [thread-safe]
   void on_batch(std::size_t replica, const std::string& model);
+  // One request served: feeds the global, per-replica and per-model latency
+  // histograms with the enqueue->complete stamp. [thread-safe]
   void on_complete(std::size_t replica, const std::string& model, double latency_seconds);
 
   // `queue_depth` comes from the batcher (total and per model lane) and

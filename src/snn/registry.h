@@ -165,11 +165,17 @@ class ModelRegistry {
   // drain as after a swap; the pack is released when the last one finishes.
   bool unload(const std::string& id);
 
+  // True while `id` is registered — necessarily a momentary answer under
+  // concurrent load()/unload(); data paths use try_acquire and handle the
+  // nullptr instead. [thread-safe]
   bool contains(const std::string& id) const;
-  // Registered ids, most recently used first.
+  // Registered ids, most recently used first. [thread-safe]
   std::vector<std::string> ids() const;
+  // Number of registered ids. [thread-safe]
   std::size_t size() const;
+  // Immutable after construction. [thread-safe]
   const RegistryOptions& options() const { return opts_; }
+  // Consistent point-in-time snapshot of the cache counters. [thread-safe]
   RegistryStats stats() const;
 
   // RAII pin around one batch: for the pin's lifetime the handle's pack is

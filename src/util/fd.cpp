@@ -1,0 +1,36 @@
+#include "util/fd.h"
+
+#ifdef __linux__
+#include <fcntl.h>
+#include <unistd.h>
+#endif
+
+namespace ttfs::util {
+
+void Fd::reset(int fd) noexcept {
+#ifdef __linux__
+  if (fd_ >= 0) ::close(fd_);
+#endif
+  fd_ = fd;
+}
+
+#ifdef __linux__
+
+bool set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  return flags >= 0 && ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+bool set_cloexec(int fd) {
+  const int flags = ::fcntl(fd, F_GETFD, 0);
+  return flags >= 0 && ::fcntl(fd, F_SETFD, flags | FD_CLOEXEC) == 0;
+}
+
+#else
+
+bool set_nonblocking(int) { return false; }
+bool set_cloexec(int) { return false; }
+
+#endif
+
+}  // namespace ttfs::util

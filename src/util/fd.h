@@ -1,0 +1,56 @@
+// RAII file-descriptor ownership for the socket front end (src/net/).
+//
+// The net subsystem juggles many short-lived descriptors (listener, epoll
+// instance, eventfd wakeups, one fd per connection) across early-return error
+// paths; Fd makes "close exactly once, on every path" a type property instead
+// of a discipline. Plain int fds never cross a function boundary in net/ —
+// only Fd does.
+//
+// Thread safety: an Fd is an owned value, not a shared object — confine each
+// instance to one thread (the net code keeps every connection fd on its IO
+// thread). close() on destruction is the only syscall the class makes.
+#pragma once
+
+#include <utility>
+
+namespace ttfs::util {
+
+// Owns one file descriptor; closes it on destruction. Move-only.
+class Fd {
+ public:
+  Fd() = default;
+  // Takes ownership of `fd` (-1 = empty, e.g. a failed ::socket call —
+  // callers test valid() instead of sprinkling -1 checks).
+  explicit Fd(int fd) noexcept : fd_{fd} {}
+  ~Fd() { reset(); }
+
+  Fd(const Fd&) = delete;
+  Fd& operator=(const Fd&) = delete;
+  Fd(Fd&& other) noexcept : fd_{other.release()} {}
+  Fd& operator=(Fd&& other) noexcept {
+    if (this != &other) {
+      reset();
+      fd_ = other.release();
+    }
+    return *this;
+  }
+
+  bool valid() const { return fd_ >= 0; }
+  int get() const { return fd_; }
+
+  // Gives up ownership without closing; returns the raw fd (-1 when empty).
+  int release() noexcept { return std::exchange(fd_, -1); }
+
+  // Closes the held fd (if any) and optionally adopts a new one.
+  void reset(int fd = -1) noexcept;
+
+ private:
+  int fd_ = -1;
+};
+
+// Sets O_NONBLOCK on `fd`; returns false (errno set) on failure.
+bool set_nonblocking(int fd);
+// Sets FD_CLOEXEC on `fd`; returns false (errno set) on failure.
+bool set_cloexec(int fd);
+
+}  // namespace ttfs::util

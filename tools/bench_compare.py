@@ -60,6 +60,18 @@ RATIO_METRICS = {
     "speedup vs batch 1": +1,
 }
 
+# Percentage-valued columns gated on ABSOLUTE percentage-point drift
+# (--abs-tolerance), not relative drift: their healthy baseline is usually
+# 0.0, where a relative band is meaningless (anything/0) and where the
+# interesting regression is "the wire server started shedding at a load it
+# used to absorb". -1 = lower is better. A current value within
+# baseline + abs_tolerance points passes; improvements always pass.
+ABS_METRICS = {
+    "shed %": -1,
+    "reject %": -1,
+    "error %": -1,
+}
+
 # Configuration columns that identify a row across runs. Everything else that
 # is not a METRIC (speedup strings, mean batch, p50, refused counts) is
 # informational and takes no part in matching or gating.
@@ -73,6 +85,8 @@ DIMENSIONS = (
     "queue_cap",
     "admission",
     "models",
+    "model",
+    "connections",
     "workload",
     "case",
     "n",
@@ -107,7 +121,8 @@ def to_ratio(value):
     return to_float(value)
 
 
-def compare_file(bench, base, cur, tolerance, latency_tolerance, ratio_tolerance):
+def compare_file(bench, base, cur, tolerance, latency_tolerance, ratio_tolerance,
+                 abs_tolerance):
     """Yields (status, detail_row) per gated metric; status in
     {ok, regressed, missing}."""
     current_rows = {}
@@ -143,6 +158,23 @@ def compare_file(bench, base, cur, tolerance, latency_tolerance, ratio_tolerance
             yield ("regressed" if regressed else "ok"), (
                 fmt_key(bench, key), metric, f"{bval:g}", f"{cval:g}", f"{delta:+.1%} ({band})",
                 status)
+        for metric, direction in ABS_METRICS.items():
+            bval = to_float(brow.get(metric))
+            if bval is None:
+                continue  # metric absent in this table (0.0 baselines DO gate)
+            cval = to_float(crow.get(metric))
+            if cval is None:
+                yield "missing", (fmt_key(bench, key), metric, f"{bval:g}", "missing", "-",
+                                  "MISSING METRIC")
+                continue
+            delta = cval - bval  # percentage points, not relative
+            regressed = (direction < 0 and delta > abs_tolerance) or (
+                direction > 0 and delta < -abs_tolerance)
+            band = (f"+{abs_tolerance:g}pp" if direction < 0 else f"-{abs_tolerance:g}pp")
+            status = "REGRESSED" if regressed else "ok"
+            yield ("regressed" if regressed else "ok"), (
+                fmt_key(bench, key), metric, f"{bval:g}", f"{cval:g}",
+                f"{delta:+.2f}pp ({band})", status)
 
 
 def main():
@@ -158,6 +190,10 @@ def main():
     ap.add_argument("--ratio-tolerance", type=float, default=0.15,
                     help="relative drop in a derived-ratio column (speedup vs batch 1) "
                          "that fails the gate (default 0.15)")
+    ap.add_argument("--abs-tolerance", type=float, default=2.0,
+                    help="absolute percentage-point rise in a percentage column "
+                         "(shed %%, reject %%) that fails the gate (default 2.0); "
+                         "absolute so a 0%% baseline still gates")
     ap.add_argument("--summary", default=os.environ.get("GITHUB_STEP_SUMMARY"),
                     help="file to append the markdown report to (defaults to "
                          "$GITHUB_STEP_SUMMARY when set)")
@@ -203,7 +239,7 @@ def main():
             continue
         for status, row in compare_file(bench, load(bpath), load(cpath),
                                         args.tolerance, args.latency_tolerance,
-                                        args.ratio_tolerance):
+                                        args.ratio_tolerance, args.abs_tolerance):
             checks += 1
             details.append(row)
             if status == "regressed":
